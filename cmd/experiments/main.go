@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's evaluation artifacts (Tables
+// 1–4 and Figures 6–7) on this reproduction.
+//
+// Usage:
+//
+//	experiments -table 2            # one table
+//	experiments -fig 6              # one figure
+//	experiments -all                # everything (the EXPERIMENTS.md content)
+//	experiments -all -deadline 30s  # cap each model-checking run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-4)")
+	fig := flag.Int("fig", 0, "regenerate one figure (6 or 7)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	deadline := flag.Duration("deadline", 4*time.Minute, "per-run model checking deadline")
+	budget := flag.Duration("budget", 15*time.Second, "table 3 experiment #2 exploration budget")
+	specTraces := flag.Int("spec-traces", 2000, "table 4 specification-level trace count")
+	implTraces := flag.Int("impl-traces", 200, "table 4 implementation-level replay count")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Deadline = *deadline
+	o.ExplorationBudget = *budget
+	o.SpecTraces = *specTraces
+	o.ImplTraces = *implTraces
+
+	run := func(name string, f func() (string, error)) {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s regenerated in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(t int) bool { return *all || *table == t }
+	if want(1) {
+		run("table 1", func() (string, error) {
+			rows, err := experiments.Table1()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable1(rows), nil
+		})
+	}
+	if want(2) {
+		run("table 2", func() (string, error) {
+			rows, err := experiments.Table2(o)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable2(rows), nil
+		})
+	}
+	if want(3) {
+		run("table 3", func() (string, error) {
+			rows, err := experiments.Table3(o)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable3(rows), nil
+		})
+	}
+	if want(4) {
+		run("table 4", func() (string, error) {
+			rows, err := experiments.Table4(o)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable4(rows), nil
+		})
+	}
+	if *all || *fig == 6 {
+		run("figure 6", func() (string, error) { return experiments.Figure6(o) })
+	}
+	if *all || *fig == 7 {
+		run("figure 7", func() (string, error) { return experiments.Figure7(o) })
+	}
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

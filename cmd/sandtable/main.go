@@ -1,0 +1,338 @@
+// Command sandtable is the CLI for the SandTable workflow (Figure 1 of the
+// paper): specification-level model checking, simulation, constraint
+// ranking, conformance checking, and implementation-level bug confirmation
+// for the integrated target systems.
+//
+// Usage:
+//
+//	sandtable check   -system gosyncobj [-bug GoSyncObj#4] [-nodes 2] ...
+//	sandtable simulate -system craft -walks 100
+//	sandtable rank    -system xraft
+//	sandtable conform -system asyncraft -walks 500
+//	sandtable confirm -system gosyncobj -bug GoSyncObj#4
+//	sandtable list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/conformance"
+	"github.com/sandtable-go/sandtable/internal/explorer"
+	"github.com/sandtable-go/sandtable/internal/integrations"
+	"github.com/sandtable-go/sandtable/internal/ranking"
+	"github.com/sandtable-go/sandtable/internal/replay"
+	"github.com/sandtable-go/sandtable/internal/sandtable"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "check":
+		err = runCheck(args)
+	case "simulate":
+		err = runSimulate(args)
+	case "rank":
+		err = runRank(args)
+	case "conform":
+		err = runConform(args)
+	case "confirm":
+		err = runConfirm(args)
+	case "replay":
+		err = runReplay(args)
+	case "list":
+		err = runList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sandtable:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sandtable <check|simulate|rank|conform|confirm|replay|list> [flags]`)
+}
+
+// commonFlags adds the session flags shared by all subcommands.
+type sessionFlags struct {
+	system   *string
+	bug      *string
+	nodes    *int
+	fixed    *bool
+	timeouts *int
+	requests *int
+	crashes  *int
+	buffer   *int
+	deadline *time.Duration
+}
+
+func addSessionFlags(fs *flag.FlagSet) *sessionFlags {
+	return &sessionFlags{
+		system:   fs.String("system", "gosyncobj", "target system ("+strings.Join(integrations.Names(), ", ")+")"),
+		bug:      fs.String("bug", "", "check a single catalogued defect (e.g. GoSyncObj#4); default: the system's verification defect set"),
+		nodes:    fs.Int("nodes", 0, "cluster size (0 = system default)"),
+		fixed:    fs.Bool("fixed", false, "use the fully fixed build (fix validation)"),
+		timeouts: fs.Int("max-timeouts", 0, "override MaxTimeouts budget"),
+		requests: fs.Int("max-requests", 0, "override MaxRequests budget"),
+		crashes:  fs.Int("max-crashes", -1, "override MaxCrashes budget"),
+		buffer:   fs.Int("max-buffer", 0, "override MaxBuffer budget"),
+		deadline: fs.Duration("deadline", 2*time.Minute, "model checking deadline"),
+	}
+}
+
+func (f *sessionFlags) session() (*sandtable.SandTable, error) {
+	sys, err := integrations.Get(*f.system)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sys.DefaultConfig
+	if *f.nodes > 0 {
+		cfg = spec.Config{Name: fmt.Sprintf("n%dw2", *f.nodes), Nodes: *f.nodes, Workload: []string{"v1", "v2"}}
+	}
+	bugs := bugdb.VerificationBugs(*f.system)
+	if *f.fixed {
+		bugs = bugdb.NoBugs()
+	}
+	if *f.bug != "" {
+		info, ok := bugdb.ByID(*f.bug)
+		if !ok {
+			return nil, fmt.Errorf("unknown bug id %q", *f.bug)
+		}
+		bugs = bugdb.NoBugs().With(info.Key)
+	}
+	budget := sys.DefaultBudget
+	if *f.timeouts > 0 {
+		budget.MaxTimeouts = *f.timeouts
+	}
+	if *f.requests > 0 {
+		budget.MaxRequests = *f.requests
+	}
+	if *f.crashes >= 0 {
+		budget.MaxCrashes = *f.crashes
+	}
+	if *f.buffer > 0 {
+		budget.MaxBuffer = *f.buffer
+	}
+	return sandtable.New(sys, cfg, budget, bugs), nil
+}
+
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	sf := addSessionFlags(fs)
+	workers := fs.Int("workers", 0, "BFS workers (0 = NumCPU)")
+	showTrace := fs.Bool("trace", true, "print the counterexample trace")
+	out := fs.String("o", "", "write the counterexample trace as JSON (replay it with `sandtable replay -trace <file>`)")
+	fs.Parse(args)
+
+	st, err := sf.session()
+	if err != nil {
+		return err
+	}
+	opts := explorer.DefaultOptions()
+	opts.Deadline = *sf.deadline
+	opts.Workers = *workers
+	res := st.Check(opts)
+	fmt.Printf("explored %d distinct states (max depth %d) in %s — %.0f states/s, stop: %s\n",
+		res.DistinctStates, res.MaxDepth, res.Duration.Round(time.Millisecond), res.StatesPerSecond(), res.StopReason)
+	v := res.FirstViolation()
+	if v == nil {
+		fmt.Println("no invariant violation found")
+		return nil
+	}
+	fmt.Printf("VIOLATION: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
+	if *showTrace {
+		fmt.Println(v.Trace.Format(false))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := v.Trace.Encode(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+	return nil
+}
+
+// runReplay replays a saved trace against a fresh implementation cluster,
+// comparing every step (the §3.4 confirmation, decoupled from the search).
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	sf := addSessionFlags(fs)
+	file := fs.String("trace", "", "trace JSON written by `sandtable check -o`")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("replay: -trace is required")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		return err
+	}
+	st, err := sf.session()
+	if err != nil {
+		return err
+	}
+	cluster, err := st.Sys.NewCluster(st.Config, st.ImplBugs, 1)
+	if err != nil {
+		return err
+	}
+	res, err := replay.ConfirmBug(tr, cluster, replay.Options{IgnoreVars: st.Sys.IgnoreVars, Observe: st.Sys.Observe})
+	if err != nil {
+		return err
+	}
+	if res.Confirmed {
+		fmt.Printf("CONFIRMED: %d events replayed deterministically, every step conforming\n", res.Steps)
+		return nil
+	}
+	fmt.Printf("replay diverged: %s\n", res.Divergence.Describe())
+	return nil
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	sf := addSessionFlags(fs)
+	walks := fs.Int("walks", 100, "number of random walks")
+	depth := fs.Int("depth", 0, "walk depth bound (0 = until deadlock)")
+	seed := fs.Int64("seed", 1, "base seed")
+	fs.Parse(args)
+
+	st, err := sf.session()
+	if err != nil {
+		return err
+	}
+	sim := explorer.NewSimulator(st.Machine(), explorer.SimOptions{MaxDepth: *depth, Seed: *seed, CheckInvariants: true})
+	results := sim.Walks(*walks)
+	agg := explorer.Aggregate(results)
+	fmt.Printf("walks=%d branch-coverage=%d event-diversity=%d max-depth=%d mean-depth=%.1f violations=%d elapsed=%s\n",
+		agg.Walks, agg.BranchCoverage, agg.EventDiversity, agg.MaxDepth, agg.MeanDepth, agg.Violations, agg.TotalElapsed.Round(time.Millisecond))
+	for _, w := range results {
+		if w.Violation != nil {
+			fmt.Printf("first violating walk: %v\n", w.Violation)
+			break
+		}
+	}
+	return nil
+}
+
+func runRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	sf := addSessionFlags(fs)
+	walks := fs.Int("walks", 32, "random walks per (config, constraint) pair")
+	fs.Parse(args)
+
+	st, err := sf.session()
+	if err != nil {
+		return err
+	}
+	configs := []spec.Config{
+		{Name: "n2w2", Nodes: 2, Workload: []string{"v1", "v2"}},
+		{Name: "n3w2", Nodes: 3, Workload: []string{"v1", "v2"}},
+	}
+	base := st.Budget
+	budgets := []spec.Budget{base}
+	lighter := base
+	lighter.Name = base.Name + "-light"
+	lighter.MaxTimeouts = max(1, base.MaxTimeouts-2)
+	lighter.MaxCrashes = 0
+	budgets = append(budgets, lighter, base.Double())
+	r := st.Rank(configs, budgets, ranking.Options{WalksPerPair: *walks, Seed: 1})
+	fmt.Print(r.Format())
+	return nil
+}
+
+func runConform(args []string) error {
+	fs := flag.NewFlagSet("conform", flag.ExitOnError)
+	sf := addSessionFlags(fs)
+	walks := fs.Int("walks", 200, "random traces to replay")
+	depth := fs.Int("depth", 30, "trace depth bound")
+	seed := fs.Int64("seed", 1, "base seed")
+	fs.Parse(args)
+
+	st, err := sf.session()
+	if err != nil {
+		return err
+	}
+	rep, err := st.Conform(conformance.Options{Walks: *walks, WalkDepth: *depth, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conformance: %d walks, %d events checked in %s\n", rep.Walks, rep.EventsChecked, rep.Duration.Round(time.Millisecond))
+	if rep.Passed() {
+		fmt.Println("PASS: no spec/impl discrepancy found")
+		return nil
+	}
+	fmt.Printf("DISCREPANCY: %v\n", rep.Discrepancy)
+	fmt.Println("trace prefix:")
+	fmt.Println(rep.Discrepancy.Trace.Format(false))
+	return nil
+}
+
+func runConfirm(args []string) error {
+	fs := flag.NewFlagSet("confirm", flag.ExitOnError)
+	sf := addSessionFlags(fs)
+	fs.Parse(args)
+
+	st, err := sf.session()
+	if err != nil {
+		return err
+	}
+	opts := explorer.DefaultOptions()
+	opts.Deadline = *sf.deadline
+	res := st.Check(opts)
+	v := res.FirstViolation()
+	if v == nil {
+		return fmt.Errorf("no violation found to confirm (%d states)", res.DistinctStates)
+	}
+	fmt.Printf("violation: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
+	conf, err := st.Confirm(v)
+	if err != nil {
+		return err
+	}
+	if conf.Confirmed {
+		fmt.Printf("CONFIRMED at the implementation level (%d events replayed, every step conforming)\n", conf.Steps)
+		return nil
+	}
+	fmt.Printf("NOT confirmed — replay diverged: %s\n", conf.Divergence.Describe())
+	return nil
+}
+
+func runList() error {
+	fmt.Println("integrated systems:")
+	for _, name := range integrations.Names() {
+		fmt.Printf("  %-11s defects:", name)
+		for _, b := range bugdb.ForSystem(name) {
+			fmt.Printf(" %s", b.ID)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

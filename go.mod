@@ -1,0 +1,3 @@
+module github.com/sandtable-go/sandtable
+
+go 1.24

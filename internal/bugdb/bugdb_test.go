@@ -1,0 +1,112 @@
+package bugdb
+
+import "testing"
+
+func TestCatalogHas23UniqueRows(t *testing.T) {
+	if len(Catalog) != 23 {
+		t.Fatalf("catalog rows = %d, want 23 (Table 2)", len(Catalog))
+	}
+	ids := map[string]bool{}
+	keys := map[Key]bool{}
+	for _, b := range Catalog {
+		if ids[b.ID] {
+			t.Errorf("duplicate id %s", b.ID)
+		}
+		ids[b.ID] = true
+		if keys[b.Key] {
+			t.Errorf("duplicate key %s", b.Key)
+		}
+		keys[b.Key] = true
+		switch b.Stage {
+		case StageVerification, StageConformance, StageModeling:
+		default:
+			t.Errorf("%s: bad stage %q", b.ID, b.Stage)
+		}
+		if b.Status != "New" && b.Status != "Old" {
+			t.Errorf("%s: bad status %q", b.ID, b.Status)
+		}
+		if b.Consequence == "" {
+			t.Errorf("%s: missing consequence", b.ID)
+		}
+	}
+}
+
+func TestStageBreakdownMatchesPaper(t *testing.T) {
+	count := map[Stage]int{}
+	for _, b := range Catalog {
+		count[b.Stage]++
+	}
+	if count[StageVerification] != 16 || count[StageConformance] != 6 || count[StageModeling] != 1 {
+		t.Errorf("stage counts = %v, want 16/6/1", count)
+	}
+	news := 0
+	for _, b := range Catalog {
+		if b.Status == "New" {
+			news++
+		}
+	}
+	if news != 18 {
+		t.Errorf("new bugs = %d, want 18", news)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NoBugs().With(GSOCommitOldTerm, CRaftEmptyRetry)
+	if !s.Has(GSOCommitOldTerm) || !s.Has(CRaftEmptyRetry) || s.Has(ZabVoteOrder) {
+		t.Errorf("set = %v", s)
+	}
+	fixed := s.Without(GSOCommitOldTerm)
+	if fixed.Has(GSOCommitOldTerm) || !fixed.Has(CRaftEmptyRetry) {
+		t.Errorf("without = %v", fixed)
+	}
+	if s.Has(GSOCommitOldTerm) == false {
+		t.Error("Without must not mutate the receiver")
+	}
+}
+
+func TestAllBugsIncludesUpstreamInheritance(t *testing.T) {
+	redis := AllBugs("redisraft")
+	// RedisRaft fixed CRaft #2/#4/#6/#9 but inherits the rest.
+	for _, k := range []Key{CRaftFirstEntryAppend, CRaftEmptyRetry, CRaftNextLEMatch, CRaftHeartbeatBreak, CRaftSnapshotReject} {
+		if !redis.Has(k) {
+			t.Errorf("redisraft should inherit %s", k)
+		}
+	}
+	for _, k := range []Key{CRaftAEInsteadOfSnapshot, CRaftTermNonMonotonic, CRaftBufferLeak, CRaftWrongTermRead} {
+		if redis.Has(k) {
+			t.Errorf("redisraft fixed %s upstream", k)
+		}
+	}
+	daos := AllBugs("daosraft")
+	if !daos.Has(DaosLeaderVotes) || !daos.Has(CRaftAEInsteadOfSnapshot) {
+		t.Errorf("daosraft set = %v", daos)
+	}
+}
+
+func TestVerificationBugsExcludesByProductStages(t *testing.T) {
+	v := VerificationBugs("craft")
+	for k := range v {
+		if StageOf(k) != StageVerification {
+			t.Errorf("verification set contains %s (stage %s)", k, StageOf(k))
+		}
+	}
+	if v.Has(CRaftBufferLeak) || v.Has(CRaftWrongTermRead) {
+		t.Error("conformance/modeling defects must be excluded")
+	}
+	if !v.Has(CRaftTermNonMonotonic) {
+		t.Error("verification defects must be included")
+	}
+}
+
+func TestByIDAndForSystem(t *testing.T) {
+	info, ok := ByID("ZabKeeper#1")
+	if !ok || info.Key != ZabVoteOrder {
+		t.Errorf("ByID = %+v, %v", info, ok)
+	}
+	if _, ok := ByID("Nope#9"); ok {
+		t.Error("unknown id resolved")
+	}
+	if rows := ForSystem("gosyncobj"); len(rows) != 5 {
+		t.Errorf("gosyncobj rows = %d, want 5", len(rows))
+	}
+}

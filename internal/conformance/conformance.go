@@ -1,0 +1,148 @@
+// Package conformance implements SandTable's iterative conformance checking
+// (§3.2): it randomly explores the specification state space, replays each
+// trace against the implementation under the deterministic execution
+// engine, and compares the specification variables with the implementation
+// state after every event. Any discrepancy — a diverging variable, a
+// non-executable command, or an implementation crash — is reported with the
+// event prefix that produced it, so the user can fix the specification (or
+// discover a by-product implementation bug) and rerun until a full round
+// passes quietly.
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/engine"
+	"github.com/sandtable-go/sandtable/internal/explorer"
+	"github.com/sandtable-go/sandtable/internal/replay"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+// Target couples a specification machine with an implementation cluster
+// factory — everything needed to cross-check the two levels.
+type Target struct {
+	Machine spec.Machine
+	// NewCluster boots a fresh implementation cluster for one trace replay
+	// (stateless initialisation, as the paper's engine does per trace).
+	NewCluster func(seed int64) (*engine.Cluster, error)
+	// Observe overrides implementation state collection (defaults to
+	// ObserveAll: node APIs plus the proxy's network variables).
+	Observe func(*engine.Cluster) (map[string]string, error)
+	// ResourceCheck, when set, runs after every event and can flag
+	// general correctness bugs (e.g. the CRaft#6 buffer leak).
+	ResourceCheck func(*engine.Cluster) error
+	// IgnoreVars excludes variable keys from comparison.
+	IgnoreVars []string
+}
+
+// Options tunes a conformance run.
+type Options struct {
+	// Walks is the number of random specification traces to replay.
+	Walks int
+	// WalkDepth bounds each trace (0 = until deadlock).
+	WalkDepth int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Timeout stops the run early (the paper's stopping condition is a
+	// period with no discrepancies, e.g. 30 minutes; tests use seconds).
+	Timeout time.Duration
+}
+
+// DefaultOptions is a short conformance round.
+func DefaultOptions() Options { return Options{Walks: 100, WalkDepth: 30, Seed: 1} }
+
+// Discrepancy is one detected spec/impl divergence.
+type Discrepancy struct {
+	Walk  int
+	Seed  int64
+	Step  *replay.StepResult
+	Trace *trace.Trace
+}
+
+func (d *Discrepancy) Error() string {
+	return fmt.Sprintf("conformance: walk %d (seed %d): %s", d.Walk, d.Seed, d.Step.Describe())
+}
+
+// Report summarises a conformance round.
+type Report struct {
+	Walks         int
+	EventsChecked int
+	Duration      time.Duration
+	// Discrepancy is the first divergence found (nil = the round passed).
+	Discrepancy *Discrepancy
+}
+
+// Passed reports whether the round found no discrepancies.
+func (r *Report) Passed() bool { return r.Discrepancy == nil }
+
+// Run performs one conformance round: Walks random traces, each replayed
+// from a fresh cluster, stopping at the first discrepancy.
+func Run(t *Target, opts Options) (*Report, error) {
+	if opts.Walks <= 0 {
+		opts.Walks = DefaultOptions().Walks
+	}
+	start := time.Now()
+	sim := explorer.NewSimulator(t.Machine, explorer.SimOptions{
+		MaxDepth:   opts.WalkDepth,
+		Seed:       opts.Seed,
+		RecordVars: true,
+	})
+	rep := &Report{}
+	for w := 0; w < opts.Walks; w++ {
+		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			break
+		}
+		seed := opts.Seed + int64(w)
+		walk := sim.Walk(seed)
+		cluster, err := t.NewCluster(seed)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: boot cluster: %w", err)
+		}
+		res, err := runOne(t, walk.Trace, cluster)
+		if err != nil {
+			return nil, err
+		}
+		rep.Walks++
+		rep.EventsChecked += res.Steps
+		if res.Divergence != nil {
+			rep.Discrepancy = &Discrepancy{Walk: w, Seed: seed, Step: res.Divergence, Trace: walk.Trace}
+			break
+		}
+	}
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+func runOne(t *Target, tr *trace.Trace, c *engine.Cluster) (*replay.Result, error) {
+	opts := replay.Options{
+		CompareEachStep: true,
+		IgnoreVars:      t.IgnoreVars,
+		Observe:         t.Observe,
+	}
+	if t.ResourceCheck == nil {
+		return replay.Run(tr, c, opts)
+	}
+	// With a resource check installed, replay step by step so the check
+	// runs after every event.
+	res := &replay.Result{}
+	for i := range tr.Steps {
+		one := &trace.Trace{System: tr.System, Steps: tr.Steps[i : i+1]}
+		r, err := replay.Run(one, c, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps += r.Steps
+		if r.Divergence != nil {
+			r.Divergence.Step = i
+			res.Divergence = r.Divergence
+			return res, nil
+		}
+		if err := t.ResourceCheck(c); err != nil {
+			res.Divergence = &replay.StepResult{Step: i, Event: tr.Steps[i].Event, Err: err}
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package conformance
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/engine"
+	"github.com/sandtable-go/sandtable/internal/fp"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/trace"
+	"github.com/sandtable-go/sandtable/internal/vos"
+)
+
+// counterMachine is a minimal spec: each client request increments a
+// per-node counter. The matching counterProcess mirrors it, with optional
+// skew to provoke discrepancies.
+type counterState struct {
+	vals     []int
+	counters spec.Counters
+}
+
+func (s *counterState) Fingerprint() uint64 {
+	h := fp.New()
+	h.WriteInts(s.vals)
+	s.counters.Hash(h)
+	return h.Sum()
+}
+
+func (s *counterState) Vars() map[string]string {
+	m := map[string]string{}
+	for i, v := range s.vals {
+		m[fmt.Sprintf("count[%d]", i)] = strconv.Itoa(v)
+	}
+	return m
+}
+
+type counterMachine struct {
+	n      int
+	budget spec.Budget
+}
+
+func (m *counterMachine) Name() string { return "counter" }
+
+func (m *counterMachine) Init() []spec.State {
+	return []spec.State{&counterState{vals: make([]int, m.n)}}
+}
+
+func (m *counterMachine) Next(st spec.State) []spec.Succ {
+	s := st.(*counterState)
+	var out []spec.Succ
+	if !s.counters.CanRequest(m.budget) {
+		return nil
+	}
+	for i := 0; i < m.n; i++ {
+		n := &counterState{vals: append([]int(nil), s.vals...), counters: s.counters}
+		n.vals[i]++
+		n.counters.Requests++
+		out = append(out, spec.Succ{
+			Event: trace.Event{Type: trace.EvRequest, Action: "Increment", Node: i, Payload: "inc"},
+			State: n,
+		})
+	}
+	return out
+}
+
+func (m *counterMachine) Invariants() []spec.Invariant { return nil }
+
+type counterProcess struct {
+	env  vos.Env
+	val  int
+	skew bool // count by two after the second increment (a seeded defect)
+}
+
+func (p *counterProcess) Start(env vos.Env)   { p.env = env; p.val = 0 }
+func (p *counterProcess) Receive(int, []byte) {}
+func (p *counterProcess) Tick()               {}
+func (p *counterProcess) ClientRequest(string) {
+	p.val++
+	if p.skew && p.val >= 2 {
+		p.val++
+	}
+}
+func (p *counterProcess) Observe() map[string]string {
+	return map[string]string{"count": strconv.Itoa(p.val)}
+}
+
+func target(n int, skew bool, resource func(*engine.Cluster) error) *Target {
+	return &Target{
+		Machine: &counterMachine{n: n, budget: spec.Budget{MaxRequests: 5}},
+		NewCluster: func(seed int64) (*engine.Cluster, error) {
+			return engine.NewCluster(engine.Config{Nodes: n}, func(id int) vos.Process {
+				return &counterProcess{skew: skew}
+			})
+		},
+		ResourceCheck: resource,
+	}
+}
+
+func TestConformingPairPasses(t *testing.T) {
+	rep, err := Run(target(2, false, nil), Options{Walks: 30, WalkDepth: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("discrepancy on an aligned pair: %v", rep.Discrepancy)
+	}
+	if rep.Walks != 30 || rep.EventsChecked == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSkewDetectedWithEventPrefix(t *testing.T) {
+	rep, err := Run(target(2, true, nil), Options{Walks: 30, WalkDepth: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed() {
+		t.Fatal("skewed implementation not detected")
+	}
+	d := rep.Discrepancy
+	if len(d.Step.DiffKeys) == 0 || d.Trace == nil {
+		t.Fatalf("discrepancy lacks detail: %+v", d)
+	}
+	if d.Error() == "" {
+		t.Error("empty discrepancy message")
+	}
+}
+
+func TestResourceCheckRunsPerEvent(t *testing.T) {
+	calls := 0
+	rc := func(c *engine.Cluster) error {
+		calls++
+		if calls == 3 {
+			return fmt.Errorf("leak detected")
+		}
+		return nil
+	}
+	rep, err := Run(target(2, false, rc), Options{Walks: 5, WalkDepth: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed() {
+		t.Fatal("resource failure not reported")
+	}
+	if rep.Discrepancy.Step.Err == nil {
+		t.Errorf("resource failure should surface as a step error: %+v", rep.Discrepancy)
+	}
+	if calls != 3 {
+		t.Errorf("resource check ran %d times, want 3", calls)
+	}
+}
+
+func TestTimeoutStopsRound(t *testing.T) {
+	rep, err := Run(target(2, false, nil), Options{Walks: 100000, WalkDepth: 5, Seed: 1, Timeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Walks >= 100000 {
+		t.Errorf("timeout did not stop the round (%d walks)", rep.Walks)
+	}
+}

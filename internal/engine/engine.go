@@ -1,0 +1,385 @@
+// Package engine is the implementation-level deterministic execution engine
+// (§4.1 and Appendix A of the paper). It runs a cluster of node processes on
+// a single machine with full control over every source of nondeterminism:
+// message delivery order (via the vnet proxy), time (via per-node virtual
+// clocks), failures (crash, restart, partition, UDP loss/duplication), and
+// client requests.
+//
+// The engine executes three kinds of commands — network commands, node
+// commands, and state commands — converted from specification-level trace
+// events. Replaying the same command sequence always produces the same
+// execution, which is what lets SandTable confirm specification-level bugs
+// at the implementation level (§3.4) and compare the two levels during
+// conformance checking (§3.2).
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/trace"
+	"github.com/sandtable-go/sandtable/internal/vnet"
+	"github.com/sandtable-go/sandtable/internal/vos"
+)
+
+// Command is one deterministic-execution step, converted from a trace event.
+type Command struct {
+	Type    trace.EventType
+	Node    int
+	Peer    int
+	Index   int
+	Payload string // timeout kind for EvTimeout; request value for EvRequest
+}
+
+func (c Command) String() string {
+	return trace.Event{Type: c.Type, Action: string(c.Type), Node: c.Node, Peer: c.Peer, Index: c.Index, Payload: c.Payload}.String()
+}
+
+// CostModel charges simulated wall-clock per operation, calibrated from the
+// paper's §5.3 measurements of real implementation-level exploration (cluster
+// initialisation sleeps, per-event model-checker waits, and per-system
+// synchronisation sleeps). The engine also measures true execution time; the
+// experiments report both (see DESIGN.md substitutions).
+type CostModel struct {
+	ClusterInit time.Duration // cluster boot (paper: 2–18 s after FlyMC-style snapshotting)
+	PerEvent    time.Duration // enforced inter-event wait (paper: e.g. 300 ms)
+	PerTimeout  time.Duration // extra sleep to fire a timer in the real system
+	PerRequest  time.Duration // client round trip
+	PerRestart  time.Duration // node restart
+}
+
+// Cost of a single command under the model.
+func (m CostModel) Cost(c Command) time.Duration {
+	d := m.PerEvent
+	switch c.Type {
+	case trace.EvTimeout:
+		d += m.PerTimeout
+	case trace.EvRequest:
+		d += m.PerRequest
+	case trace.EvRestart:
+		d += m.PerRestart
+	}
+	return d
+}
+
+// Config describes a cluster under test.
+type Config struct {
+	Nodes     int
+	Semantics vnet.Semantics
+	Seed      int64
+	// Timeouts maps a timeout kind (the payload of EvTimeout events) to the
+	// virtual-clock advance that fires it. The paper requires users to
+	// provide timeout values when converting trace events (§3.2).
+	Timeouts map[string]time.Duration
+	Cost     CostModel
+}
+
+// CrashError reports that a node process panicked while handling an event —
+// the analogue of the unhandled exceptions SandTable's conformance checking
+// catches as by-product bugs (e.g. PySyncObj#1, RaftOS#3, Xraft#2).
+type CrashError struct {
+	Node  int
+	Cmd   Command
+	Panic any
+	Stack string
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("node %d crashed handling %s: %v", e.Node, e.Cmd, e.Panic)
+}
+
+// Cluster is a running deterministic cluster.
+type Cluster struct {
+	cfg     Config
+	factory func(id int) vos.Process
+
+	net    *vnet.Network
+	clocks []*vos.Clock
+	stores []*vos.Store
+	logs   []*vos.LogBuffer
+	rngs   []*rand.Rand
+	procs  []vos.Process
+	up     []bool
+
+	partitions map[[2]int]bool
+
+	events  int
+	simCost time.Duration
+	history []Command
+}
+
+// NewCluster boots a cluster: every node is constructed and started.
+func NewCluster(cfg Config, factory func(id int) vos.Process) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("engine: need at least one node")
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		factory:    factory,
+		net:        vnet.New(cfg.Nodes, cfg.Semantics),
+		clocks:     make([]*vos.Clock, cfg.Nodes),
+		stores:     make([]*vos.Store, cfg.Nodes),
+		logs:       make([]*vos.LogBuffer, cfg.Nodes),
+		rngs:       make([]*rand.Rand, cfg.Nodes),
+		procs:      make([]vos.Process, cfg.Nodes),
+		up:         make([]bool, cfg.Nodes),
+		partitions: make(map[[2]int]bool),
+	}
+	c.simCost += cfg.Cost.ClusterInit
+	for i := 0; i < cfg.Nodes; i++ {
+		c.clocks[i] = vos.NewClock()
+		c.stores[i] = vos.NewStore()
+		c.logs[i] = &vos.LogBuffer{}
+		c.rngs[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		if err := c.startNode(i); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) startNode(i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CrashError{Node: i, Panic: r, Stack: string(debug.Stack())}
+		}
+	}()
+	p := c.factory(i)
+	p.Start(&nodeEnv{c: c, id: i})
+	c.procs[i] = p
+	c.up[i] = true
+	return nil
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.cfg.Nodes }
+
+// Up reports whether node i is running.
+func (c *Cluster) Up(i int) bool { return c.up[i] }
+
+// Events returns the number of commands executed.
+func (c *Cluster) Events() int { return c.events }
+
+// SimulatedCost returns the accumulated cost-model time.
+func (c *Cluster) SimulatedCost() time.Duration { return c.simCost }
+
+// Network exposes the proxy for assertions and conformance.
+func (c *Cluster) Network() *vnet.Network { return c.net }
+
+// Logs returns node i's captured log lines.
+func (c *Cluster) Logs(i int) []string { return c.logs[i].Lines() }
+
+// History returns the executed command sequence.
+func (c *Cluster) History() []Command { return append([]Command(nil), c.history...) }
+
+// Process returns the running process for node i (nil when crashed); used
+// by system-specific observers.
+func (c *Cluster) Process(i int) vos.Process {
+	if !c.up[i] {
+		return nil
+	}
+	return c.procs[i]
+}
+
+// Apply executes one command deterministically. A returned *CrashError
+// means the node implementation itself failed (a by-product bug); other
+// errors mean the command was not applicable (e.g. delivering from an empty
+// channel), which during conformance checking indicates a spec/impl
+// discrepancy.
+func (c *Cluster) Apply(cmd Command) error {
+	c.events++
+	c.simCost += c.cfg.Cost.Cost(cmd)
+	c.history = append(c.history, cmd)
+
+	switch cmd.Type {
+	case trace.EvDeliver:
+		return c.deliver(cmd)
+	case trace.EvTimeout:
+		return c.timeout(cmd)
+	case trace.EvRequest:
+		return c.request(cmd)
+	case trace.EvCrash:
+		return c.crash(cmd.Node)
+	case trace.EvRestart:
+		return c.restart(cmd.Node)
+	case trace.EvPartition:
+		return c.partition(cmd.Node, cmd.Peer)
+	case trace.EvRecover:
+		return c.heal(cmd.Node, cmd.Peer)
+	case trace.EvDrop:
+		return c.net.Drop(cmd.Peer, cmd.Node, cmd.Index)
+	case trace.EvDuplicate:
+		return c.net.Duplicate(cmd.Peer, cmd.Node, cmd.Index)
+	case trace.EvInternal:
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown command type %q", cmd.Type)
+	}
+}
+
+func (c *Cluster) guard(i int) error {
+	if i < 0 || i >= c.cfg.Nodes {
+		return fmt.Errorf("engine: no node %d", i)
+	}
+	return nil
+}
+
+func (c *Cluster) deliver(cmd Command) error {
+	if err := c.guard(cmd.Node); err != nil {
+		return err
+	}
+	if err := c.guard(cmd.Peer); err != nil {
+		return err
+	}
+	if !c.up[cmd.Node] {
+		return fmt.Errorf("engine: deliver to crashed node %d", cmd.Node)
+	}
+	f, err := c.net.Deliver(cmd.Peer, cmd.Node, cmd.Index)
+	if err != nil {
+		return err
+	}
+	payloads, rest := vnet.DecodeStream(f.Payload)
+	if len(rest) != 0 || len(payloads) != 1 {
+		return fmt.Errorf("engine: malformed frame %d->%d", cmd.Peer, cmd.Node)
+	}
+	return c.invoke(cmd, cmd.Node, func(p vos.Process) {
+		p.Receive(cmd.Peer, payloads[0])
+	})
+}
+
+func (c *Cluster) timeout(cmd Command) error {
+	if err := c.guard(cmd.Node); err != nil {
+		return err
+	}
+	if !c.up[cmd.Node] {
+		return fmt.Errorf("engine: timeout on crashed node %d", cmd.Node)
+	}
+	d, ok := c.cfg.Timeouts[cmd.Payload]
+	if !ok {
+		return fmt.Errorf("engine: no timeout duration configured for kind %q", cmd.Payload)
+	}
+	c.clocks[cmd.Node].Advance(d)
+	return c.invoke(cmd, cmd.Node, func(p vos.Process) { p.Tick() })
+}
+
+func (c *Cluster) request(cmd Command) error {
+	if err := c.guard(cmd.Node); err != nil {
+		return err
+	}
+	if !c.up[cmd.Node] {
+		return fmt.Errorf("engine: request to crashed node %d", cmd.Node)
+	}
+	return c.invoke(cmd, cmd.Node, func(p vos.Process) { p.ClientRequest(cmd.Payload) })
+}
+
+func (c *Cluster) crash(node int) error {
+	if err := c.guard(node); err != nil {
+		return err
+	}
+	if !c.up[node] {
+		return fmt.Errorf("engine: node %d already crashed", node)
+	}
+	// SIGQUIT semantics: no cleanup runs; volatile state is lost, durable
+	// store and captured logs survive; all connections break.
+	c.procs[node] = nil
+	c.up[node] = false
+	c.net.CrashNode(node)
+	return nil
+}
+
+func (c *Cluster) restart(node int) error {
+	if err := c.guard(node); err != nil {
+		return err
+	}
+	if c.up[node] {
+		return fmt.Errorf("engine: node %d is already running", node)
+	}
+	c.net.RestartNode(node, func(a, b int) bool { return c.partitioned(a, b) })
+	return c.startNode(node)
+}
+
+func (c *Cluster) partition(a, b int) error {
+	if err := c.guard(a); err != nil {
+		return err
+	}
+	if err := c.guard(b); err != nil {
+		return err
+	}
+	c.partitions[pairKey(a, b)] = true
+	c.net.Partition(a, b)
+	return nil
+}
+
+func (c *Cluster) heal(a, b int) error {
+	if err := c.guard(a); err != nil {
+		return err
+	}
+	if err := c.guard(b); err != nil {
+		return err
+	}
+	delete(c.partitions, pairKey(a, b))
+	// Do not reconnect pairs where one side is down.
+	if c.up[a] && c.up[b] {
+		c.net.Heal(a, b)
+	}
+	return nil
+}
+
+func (c *Cluster) partitioned(a, b int) bool { return c.partitions[pairKey(a, b)] }
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// invoke runs fn on the node's process, converting panics into CrashError
+// and crashing the node (matching a real unhandled exception).
+func (c *Cluster) invoke(cmd Command, node int, fn func(vos.Process)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CrashError{Node: node, Cmd: cmd, Panic: r, Stack: string(debug.Stack())}
+			c.procs[node] = nil
+			c.up[node] = false
+			c.net.CrashNode(node)
+		}
+	}()
+	fn(c.procs[node])
+	return nil
+}
+
+// nodeEnv implements vos.Env for one node.
+type nodeEnv struct {
+	c  *Cluster
+	id int
+}
+
+func (e *nodeEnv) ID() int          { return e.id }
+func (e *nodeEnv) N() int           { return e.c.cfg.Nodes }
+func (e *nodeEnv) Now() time.Time   { return e.c.clocks[e.id].Now() }
+func (e *nodeEnv) Rand() *rand.Rand { return e.c.rngs[e.id] }
+func (e *nodeEnv) Logf(f string, a ...any) {
+	e.c.logs[e.id].Append(f, a...)
+}
+
+func (e *nodeEnv) Send(to int, msg []byte) {
+	if to < 0 || to >= e.c.cfg.Nodes || to == e.id {
+		return
+	}
+	// Frame the payload the way the paper's interceptor marks message
+	// boundaries before handing the stream to the proxy.
+	e.c.net.Send(e.id, to, vnet.Encode(msg))
+}
+
+func (e *nodeEnv) Connected(to int) bool {
+	if to < 0 || to >= e.c.cfg.Nodes || to == e.id {
+		return false
+	}
+	return e.c.net.Connected(e.id, to)
+}
+
+func (e *nodeEnv) Persist(key string, value []byte) { e.c.stores[e.id].Persist(key, value) }
+func (e *nodeEnv) Load(key string) ([]byte, bool)   { return e.c.stores[e.id].Load(key) }

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+)
+
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.Deadline = 90 * time.Second
+	o.ExplorationBudget = 2 * time.Second
+	o.SpecTraces = 100
+	o.ImplTraces = 10
+	o.ConformanceWalks = 800
+	return o
+}
+
+func TestTable1InventoryShape(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("systems = %d, want 8", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		if r.Vars < 5 || r.Actions < 8 || r.Invs < 5 {
+			t.Errorf("%s inventory too small: %+v", r.System, r)
+		}
+		if r.ImplLOC == 0 || r.SpecLOC == 0 {
+			t.Errorf("%s line counts missing: %+v", r.System, r)
+		}
+		total += r.Defects
+	}
+	if total != len(bugdb.Catalog) {
+		t.Errorf("catalog rows across systems = %d, want %d", total, len(bugdb.Catalog))
+	}
+	if out := FormatTable1(rows); !strings.Contains(out, "zabkeeper") {
+		t.Error("format missing a system")
+	}
+}
+
+// TestTable2FastRows runs the quick verification-stage detections end to
+// end (model checking + implementation-level confirmation); the slower rows
+// are covered by cmd/experiments and the benchmarks.
+func TestTable2FastRows(t *testing.T) {
+	for _, id := range []string{"GoSyncObj#2", "CRaft#4", "DaosRaft#1", "AsyncRaft#1", "AsyncRaft#2", "Xraft#1"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			info, ok := bugdb.ByID(id)
+			if !ok {
+				t.Fatal("unknown id")
+			}
+			row, err := Table2Single(info, fastOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !row.Found {
+				t.Fatalf("not found: %s", row.Detail)
+			}
+			if !row.Confirmed {
+				t.Fatalf("not confirmed at implementation level: %s", row.Detail)
+			}
+			if row.Depth <= 0 || row.States <= 0 {
+				t.Errorf("missing metrics: %+v", row)
+			}
+		})
+	}
+}
+
+func TestTable2ConformanceRows(t *testing.T) {
+	for _, id := range []string{"GoSyncObj#1", "CRaft#6", "AsyncRaft#3", "CRaft#9"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			info, _ := bugdb.ByID(id)
+			row, err := Table2Single(info, fastOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !row.Found {
+				t.Fatalf("not found: %s", row.Detail)
+			}
+		})
+	}
+}
+
+func TestTable4ShapePreserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every system")
+	}
+	rows, err := Table4(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Speedup < 10 {
+			t.Errorf("%s: speedup %.0f — the spec level must win by orders of magnitude", r.System, r.Speedup)
+		}
+		if r.MeanDepth <= 1 {
+			t.Errorf("%s: degenerate walks (mean depth %.1f)", r.System, r.MeanDepth)
+		}
+	}
+	// The paper's ordering shape: the sleep-bound systems (xraft, xraftkv,
+	// zabkeeper) show much larger speedups than the sleepless drivers.
+	bySys := map[string]float64{}
+	for _, r := range rows {
+		bySys[r.System] = r.Speedup
+	}
+	if !(bySys["xraft"] > bySys["gosyncobj"] && bySys["zabkeeper"] > bySys["craft"]) {
+		t.Errorf("speedup shape mismatch: %v", bySys)
+	}
+}
+
+func TestFigure6Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BFS run")
+	}
+	out, err := Figure6(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "match index") || !strings.Contains(out, "n0") {
+		t.Errorf("figure 6 output malformed:\n%s", out)
+	}
+}

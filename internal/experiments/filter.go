@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"errors"
+
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// filteredMachine restricts a machine's invariants to a chosen subset, so a
+// deep scenario (e.g. Figure 7's committed-log inconsistency) can be hunted
+// without stopping at shallower flag-style violations on the way.
+type filteredMachine struct {
+	spec.Machine
+	keep map[string]bool
+}
+
+// onlyInvariant wraps m keeping just the named invariants.
+func onlyInvariant(m spec.Machine, names ...string) spec.Machine {
+	keep := make(map[string]bool, len(names))
+	for _, n := range names {
+		keep[n] = true
+	}
+	return &filteredMachine{Machine: m, keep: keep}
+}
+
+// Invariants implements spec.Machine.
+func (f *filteredMachine) Invariants() []spec.Invariant {
+	var out []spec.Invariant
+	for _, inv := range f.Machine.Invariants() {
+		if f.keep[inv.Name] {
+			out = append(out, inv)
+		}
+	}
+	return out
+}
+
+// NumNodes implements spec.Symmetric by delegation (symmetry off when the
+// wrapped machine is not symmetric).
+func (f *filteredMachine) NumNodes() int {
+	if sym, ok := f.Machine.(spec.Symmetric); ok {
+		return sym.NumNodes()
+	}
+	return 1
+}
+
+// Permute implements spec.Symmetric by delegation.
+func (f *filteredMachine) Permute(s spec.State, perm []int) spec.State {
+	if sym, ok := f.Machine.(spec.Symmetric); ok {
+		return sym.Permute(s, perm)
+	}
+	return s
+}
+
+// PermutedFingerprint implements spec.FastSymmetric by delegation.
+func (f *filteredMachine) PermutedFingerprint(s spec.State, perm []int) uint64 {
+	if fast, ok := f.Machine.(spec.FastSymmetric); ok {
+		return fast.PermutedFingerprint(s, perm)
+	}
+	return f.Permute(s, perm).Fingerprint()
+}
+
+// goalMachine wraps a machine replacing its invariants with a single
+// "goal reached" pseudo-violation, turning BFS into shortest-trace
+// goal-directed search (the counterexample IS the directed scenario).
+func goalMachine(m spec.Machine, name string, goal func(spec.State) bool) spec.Machine {
+	return &goalWrapper{filteredMachine: filteredMachine{Machine: m}, name: name, goal: goal}
+}
+
+type goalWrapper struct {
+	filteredMachine
+	name string
+	goal func(spec.State) bool
+}
+
+// Invariants implements spec.Machine: the goal as a pseudo-violation.
+func (g *goalWrapper) Invariants() []spec.Invariant {
+	return []spec.Invariant{{Name: g.name, Check: func(s spec.State) error {
+		if g.goal(s) {
+			return errGoalReached
+		}
+		return nil
+	}}}
+}
+
+var errGoalReached = errors.New("goal state reached")

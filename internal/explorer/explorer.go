@@ -1,0 +1,365 @@
+// Package explorer implements SandTable's specification-level state
+// exploration (§3.3): a stateful breadth-first model checker with
+// fingerprint-based state deduplication, optional symmetry reduction, and a
+// TLC-style simulation mode (seeded random walks) used for conformance
+// checking and constraint ranking.
+//
+// The BFS checker is stateful — it remembers every visited state in a
+// fingerprint set and therefore never re-explores a state — which is the
+// property that makes specification-level exploration orders of magnitude
+// faster than stateless implementation-level exploration. Counterexamples
+// found by BFS have minimal depth.
+package explorer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+// Options configures a model-checking run.
+type Options struct {
+	// Workers is the number of parallel expansion workers (level-synchronous
+	// BFS). Zero means runtime.NumCPU().
+	Workers int
+	// Symmetry enables symmetry reduction when the machine implements
+	// spec.Symmetric: states are identified up to node permutation.
+	Symmetry bool
+	// MaxDepth bounds the BFS depth (0 = unbounded; budgets inside the spec
+	// usually bound the space already).
+	MaxDepth int
+	// MaxStates stops the search after this many distinct states (0 = off).
+	MaxStates int
+	// Deadline stops the search after this wall-clock duration (0 = off).
+	Deadline time.Duration
+	// StopAtFirstViolation halts at the first invariant violation (the
+	// default SandTable workflow: confirm one bug, fix, re-run). When false
+	// the checker records every violating state but keeps exploring.
+	StopAtFirstViolation bool
+	// RecordVars includes rendered variable maps in counterexample traces
+	// (needed for conformance checking and replay; costs time).
+	RecordVars bool
+	// Goal, when set, is a reachability query: the checker records whether
+	// any explored state satisfies it (used e.g. to demonstrate
+	// modeling-stage findings such as "no leader is ever elected").
+	Goal func(s spec.State) bool
+}
+
+// DefaultOptions returns the options used by the SandTable workflow.
+func DefaultOptions() Options {
+	return Options{Symmetry: true, StopAtFirstViolation: true, RecordVars: true}
+}
+
+// Violation describes one invariant violation found during checking.
+type Violation struct {
+	Invariant string
+	Err       error
+	Depth     int
+	Trace     *trace.Trace
+
+	fp uint64 // fingerprint of the violating state
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("invariant %s violated at depth %d: %v", v.Invariant, v.Depth, v.Err)
+}
+
+// Result summarises a model-checking run.
+type Result struct {
+	DistinctStates int
+	Transitions    int64
+	MaxDepth       int
+	Duration       time.Duration
+	Violations     []*Violation
+	// GoalReached reports whether any explored state satisfied Options.Goal.
+	GoalReached bool
+	// Exhausted is true when the bounded state space was fully explored.
+	Exhausted bool
+	// StopReason explains why the run ended ("exhausted", "violation",
+	// "max-states", "deadline", "max-depth").
+	StopReason string
+}
+
+// StatesPerSecond reports the exploration throughput.
+func (r *Result) StatesPerSecond() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.DistinctStates) / r.Duration.Seconds()
+}
+
+// FirstViolation returns the minimal-depth violation, or nil.
+func (r *Result) FirstViolation() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return r.Violations[0]
+}
+
+type edge struct {
+	parent uint64
+	depth  int32
+}
+
+// Checker runs stateful BFS over a specification. A Checker is single-use:
+// build a fresh one per run.
+type Checker struct {
+	m    spec.Machine
+	opts Options
+
+	sym   spec.Symmetric
+	fast  spec.FastSymmetric
+	perms [][]int
+
+	visited map[uint64]edge
+}
+
+// NewChecker builds a checker for machine m.
+func NewChecker(m spec.Machine, opts Options) *Checker {
+	c := &Checker{m: m, opts: opts, visited: make(map[uint64]edge, 1<<16)}
+	if opts.Symmetry {
+		if sym, ok := m.(spec.Symmetric); ok && sym.NumNodes() > 1 {
+			c.sym = sym
+			c.perms = spec.Permutations(sym.NumNodes())
+			if fast, ok := m.(spec.FastSymmetric); ok {
+				c.fast = fast
+			}
+		}
+	}
+	return c
+}
+
+// canonicalFP returns the symmetry-reduced fingerprint of s: the minimum
+// fingerprint over all node permutations (with symmetry off it is the plain
+// fingerprint).
+func (c *Checker) canonicalFP(s spec.State) uint64 {
+	fp := s.Fingerprint()
+	if c.sym == nil {
+		return fp
+	}
+	for _, p := range c.perms {
+		if isIdentity(p) {
+			continue
+		}
+		var pf uint64
+		if c.fast != nil {
+			pf = c.fast.PermutedFingerprint(s, p)
+		} else {
+			pf = c.sym.Permute(s, p).Fingerprint()
+		}
+		if pf < fp {
+			fp = pf
+		}
+	}
+	return fp
+}
+
+func isIdentity(p []int) bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+type frontierEntry struct {
+	state spec.State
+	fp    uint64
+}
+
+// succRecord is a successor produced by a worker, awaiting the serial merge
+// against the global visited set.
+type succRecord struct {
+	state  spec.State
+	fp     uint64
+	parent uint64
+}
+
+// Run performs the breadth-first search and returns the result.
+func (c *Checker) Run() *Result {
+	start := time.Now()
+	res := &Result{}
+	workers := c.opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	invs := c.m.Invariants()
+	var frontier []frontierEntry
+	for _, s := range c.m.Init() {
+		fp := c.canonicalFP(s)
+		if _, seen := c.visited[fp]; seen {
+			continue
+		}
+		c.visited[fp] = edge{parent: fp, depth: 0}
+		frontier = append(frontier, frontierEntry{state: s, fp: fp})
+		if c.opts.Goal != nil && c.opts.Goal(s) {
+			res.GoalReached = true
+		}
+		if v := checkInvariants(invs, s, 0, fp); v != nil {
+			res.Violations = append(res.Violations, v)
+		}
+	}
+	res.DistinctStates = len(frontier)
+
+	depth := 0
+	stop := ""
+	deadline := time.Time{}
+	if c.opts.Deadline > 0 {
+		deadline = start.Add(c.opts.Deadline)
+	}
+
+	for len(frontier) > 0 {
+		if c.opts.StopAtFirstViolation && len(res.Violations) > 0 {
+			stop = "violation"
+			break
+		}
+		if c.opts.MaxDepth > 0 && depth >= c.opts.MaxDepth {
+			stop = "max-depth"
+			break
+		}
+		if c.opts.MaxStates > 0 && res.DistinctStates >= c.opts.MaxStates {
+			stop = "max-states"
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			stop = "deadline"
+			break
+		}
+
+		depth++
+
+		// Expand the level in bounded blocks so memory holds at most one
+		// block's successors at a time, and merge each block serially:
+		// deduplicate against the global fingerprint set, record parent
+		// edges, and check invariants on newly discovered states only
+		// (duplicates were checked when first discovered).
+		const block = 1 << 14
+		var next []frontierEntry
+	level:
+		for lo := 0; lo < len(frontier); lo += block {
+			hi := min(lo+block, len(frontier))
+			records, work := c.expand(frontier[lo:hi], workers)
+			// The block's states are fully expanded: release them so the
+			// peak footprint is one level plus one block, not two levels.
+			for k := lo; k < hi; k++ {
+				frontier[k].state = nil
+			}
+			res.Transitions += work
+			for _, r := range records {
+				if _, seen := c.visited[r.fp]; seen {
+					continue
+				}
+				c.visited[r.fp] = edge{parent: r.parent, depth: int32(depth)}
+				next = append(next, frontierEntry{state: r.state, fp: r.fp})
+				res.DistinctStates++
+				if c.opts.Goal != nil && !res.GoalReached && c.opts.Goal(r.state) {
+					res.GoalReached = true
+				}
+				if v := checkInvariants(invs, r.state, depth, r.fp); v != nil {
+					res.Violations = append(res.Violations, v)
+					if c.opts.StopAtFirstViolation {
+						break level
+					}
+				}
+			}
+			if c.opts.MaxStates > 0 && res.DistinctStates >= c.opts.MaxStates {
+				break
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+		}
+		frontier = next
+		if len(frontier) > 0 {
+			res.MaxDepth = depth
+		}
+	}
+
+	if stop == "" {
+		if len(res.Violations) > 0 && c.opts.StopAtFirstViolation {
+			stop = "violation"
+		} else {
+			stop = "exhausted"
+			res.Exhausted = true
+		}
+	}
+	res.StopReason = stop
+	res.Duration = time.Since(start)
+
+	for _, v := range res.Violations {
+		v.Trace = c.reconstruct(v)
+	}
+	return res
+}
+
+// expand computes all successors of the frontier, fanning the expensive work
+// (Next enumeration, cloning, canonical fingerprints) across workers.
+func (c *Checker) expand(frontier []frontierEntry, workers int) ([]succRecord, int64) {
+	if len(frontier) < 2*workers || workers == 1 {
+		return c.expandChunk(frontier)
+	}
+	chunks := workers
+	type out struct {
+		recs []succRecord
+		work int64
+	}
+	outs := make([]out, chunks)
+	var wg sync.WaitGroup
+	size := (len(frontier) + chunks - 1) / chunks
+	for i := 0; i < chunks; i++ {
+		lo := i * size
+		hi := min(lo+size, len(frontier))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			recs, work := c.expandChunk(frontier[lo:hi])
+			outs[i] = out{recs: recs, work: work}
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	var all []succRecord
+	var work int64
+	for _, o := range outs {
+		all = append(all, o.recs...)
+		work += o.work
+	}
+	return all, work
+}
+
+func (c *Checker) expandChunk(entries []frontierEntry) ([]succRecord, int64) {
+	var recs []succRecord
+	var work int64
+	for _, fe := range entries {
+		succs := c.m.Next(fe.state)
+		work += int64(len(succs))
+		for _, su := range succs {
+			recs = append(recs, succRecord{state: su.State, fp: c.canonicalFP(su.State), parent: fe.fp})
+		}
+	}
+	return recs, work
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func checkInvariants(invs []spec.Invariant, s spec.State, depth int, fp uint64) *Violation {
+	for _, inv := range invs {
+		if err := inv.Check(s); err != nil {
+			return &Violation{Invariant: inv.Name, Err: err, Depth: depth, fp: fp}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package explorer
+
+import (
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+// reconstruct rebuilds the counterexample trace for a violation. The visited
+// set stores only fingerprints and parent edges (never full states, exactly
+// as TLC does), so reconstruction walks the parent chain backwards to a root
+// and then re-executes the specification forwards, at each step picking the
+// successor whose canonical fingerprint matches the next link in the chain.
+//
+// With symmetry reduction on, the forward re-execution may traverse a
+// node-permuted variant of the state BFS originally discovered; canonical
+// fingerprints are permutation-invariant, so the chain still resolves and
+// the recorded events form a real execution of the specification.
+func (c *Checker) reconstruct(v *Violation) *trace.Trace {
+	// Backward pass: fingerprint chain from root to the violating state.
+	var chain []uint64
+	fp := v.fp
+	for {
+		e, ok := c.visited[fp]
+		if !ok {
+			return nil
+		}
+		chain = append(chain, fp)
+		if e.depth == 0 {
+			break
+		}
+		fp = e.parent
+	}
+	// Reverse in place: chain[0] is now the root.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	// Forward pass: find the root init state, then follow the chain.
+	var cur spec.State
+	for _, s := range c.m.Init() {
+		if c.canonicalFP(s) == chain[0] {
+			cur = s
+			break
+		}
+	}
+	if cur == nil {
+		return nil
+	}
+
+	t := &trace.Trace{System: c.m.Name()}
+	if c.opts.RecordVars {
+		t.Init = cur.Vars()
+	}
+	for _, want := range chain[1:] {
+		var found *spec.Succ
+		for _, su := range c.m.Next(cur) {
+			su := su
+			if c.canonicalFP(su.State) == want {
+				found = &su
+				break
+			}
+		}
+		if found == nil {
+			return nil
+		}
+		step := trace.Step{Event: found.Event, Fingerprint: want}
+		if c.opts.RecordVars {
+			step.Vars = found.State.Vars()
+		}
+		t.Steps = append(t.Steps, step)
+		cur = found.State
+	}
+	return t
+}

@@ -1,0 +1,166 @@
+package explorer
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+// SimOptions configures simulation (random walk) mode — the analogue of
+// TLC's simulation mode, used by conformance checking (§3.2) and constraint
+// ranking (Algorithm 1).
+type SimOptions struct {
+	// MaxDepth bounds each walk (0 = walk until no transition is enabled).
+	MaxDepth int
+	// Seed makes walks reproducible; each walk i uses Seed+i.
+	Seed int64
+	// CheckInvariants stops a walk at the first invariant violation.
+	CheckInvariants bool
+	// RecordVars includes per-step variable maps in the produced traces
+	// (required for conformance checking).
+	RecordVars bool
+}
+
+// WalkStats captures the per-walk data Algorithm 1 collects: branch coverage
+// (distinct specification actions fired), event diversity (distinct event
+// types), and exploration depth.
+type WalkStats struct {
+	Depth      int
+	Actions    map[string]int
+	EventTypes map[trace.EventType]int
+	// Terminal reports why the walk ended: "deadlock" (no enabled
+	// transition), "max-depth", or "violation".
+	Terminal string
+}
+
+// BranchCoverage is the number of distinct actions fired during the walk.
+func (w *WalkStats) BranchCoverage() int { return len(w.Actions) }
+
+// EventDiversity is the number of distinct event types fired.
+func (w *WalkStats) EventDiversity() int { return len(w.EventTypes) }
+
+// WalkResult is one random walk: its trace, stats, and any violation hit.
+type WalkResult struct {
+	Trace     *trace.Trace
+	Stats     WalkStats
+	Violation *Violation
+	Elapsed   time.Duration
+}
+
+// Simulator runs seeded random walks over a specification.
+type Simulator struct {
+	m    spec.Machine
+	opts SimOptions
+}
+
+// NewSimulator builds a simulator for machine m.
+func NewSimulator(m spec.Machine, opts SimOptions) *Simulator {
+	return &Simulator{m: m, opts: opts}
+}
+
+// Walk performs a single random walk with the given seed.
+func (s *Simulator) Walk(seed int64) *WalkResult {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	invs := s.m.Invariants()
+
+	inits := s.m.Init()
+	cur := inits[rng.Intn(len(inits))]
+
+	res := &WalkResult{
+		Trace: &trace.Trace{System: s.m.Name()},
+		Stats: WalkStats{
+			Actions:    make(map[string]int),
+			EventTypes: make(map[trace.EventType]int),
+		},
+	}
+	if s.opts.RecordVars {
+		res.Trace.Init = cur.Vars()
+	}
+
+	for depth := 0; s.opts.MaxDepth == 0 || depth < s.opts.MaxDepth; depth++ {
+		succs := s.m.Next(cur)
+		if len(succs) == 0 {
+			res.Stats.Terminal = "deadlock"
+			break
+		}
+		pick := succs[rng.Intn(len(succs))]
+		cur = pick.State
+		res.Stats.Depth++
+		res.Stats.Actions[pick.Event.Action]++
+		res.Stats.EventTypes[pick.Event.Type]++
+
+		step := trace.Step{Event: pick.Event, Fingerprint: cur.Fingerprint()}
+		if s.opts.RecordVars {
+			step.Vars = cur.Vars()
+		}
+		res.Trace.Steps = append(res.Trace.Steps, step)
+
+		if s.opts.CheckInvariants {
+			if v := checkInvariants(invs, cur, res.Stats.Depth, 0); v != nil {
+				v.Trace = res.Trace
+				res.Violation = v
+				res.Stats.Terminal = "violation"
+				break
+			}
+		}
+	}
+	if res.Stats.Terminal == "" {
+		res.Stats.Terminal = "max-depth"
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Walks performs n seeded walks (seeds Seed..Seed+n-1) and returns them.
+func (s *Simulator) Walks(n int) []*WalkResult {
+	out := make([]*WalkResult, n)
+	for i := range out {
+		out[i] = s.Walk(s.opts.Seed + int64(i))
+	}
+	return out
+}
+
+// AggregateStats merges per-walk stats: union of branch coverage and event
+// diversity, maximum depth — the data Algorithm 1 sorts constraints by.
+type AggregateStats struct {
+	Walks          int
+	BranchCoverage int
+	EventDiversity int
+	MaxDepth       int
+	MeanDepth      float64
+	Violations     int
+	TotalElapsed   time.Duration
+}
+
+// Aggregate folds walk results into aggregate statistics.
+func Aggregate(walks []*WalkResult) AggregateStats {
+	agg := AggregateStats{Walks: len(walks)}
+	actions := make(map[string]struct{})
+	events := make(map[trace.EventType]struct{})
+	total := 0
+	for _, w := range walks {
+		for a := range w.Stats.Actions {
+			actions[a] = struct{}{}
+		}
+		for e := range w.Stats.EventTypes {
+			events[e] = struct{}{}
+		}
+		if w.Stats.Depth > agg.MaxDepth {
+			agg.MaxDepth = w.Stats.Depth
+		}
+		total += w.Stats.Depth
+		if w.Violation != nil {
+			agg.Violations++
+		}
+		agg.TotalElapsed += w.Elapsed
+	}
+	agg.BranchCoverage = len(actions)
+	agg.EventDiversity = len(events)
+	if len(walks) > 0 {
+		agg.MeanDepth = float64(total) / float64(len(walks))
+	}
+	return agg
+}

@@ -1,0 +1,108 @@
+package fp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	h1, h2 := New(), New()
+	for _, h := range []*Hasher{h1, h2} {
+		h.WriteInt(42)
+		h.WriteString("hello")
+		h.WriteBool(true)
+		h.Sep()
+		h.WriteInts([]int{1, 2, 3})
+	}
+	if h1.Sum() != h2.Sum() {
+		t.Fatal("same writes produced different fingerprints")
+	}
+}
+
+func TestFieldFramingPreventsAliasing(t *testing.T) {
+	pairs := [][2][2]string{
+		{{"ab", "c"}, {"a", "bc"}},
+		{{"", "x"}, {"x", ""}},
+		{{"a", ""}, {"", "a"}},
+	}
+	for _, p := range pairs {
+		a, b := New(), New()
+		a.WriteString(p[0][0])
+		a.WriteString(p[0][1])
+		b.WriteString(p[1][0])
+		b.WriteString(p[1][1])
+		if a.Sum() == b.Sum() {
+			t.Errorf("aliasing: %q+%q collides with %q+%q", p[0][0], p[0][1], p[1][0], p[1][1])
+		}
+	}
+}
+
+func TestQuickStringSplitNoAliasing(t *testing.T) {
+	f := func(s string, cut uint8) bool {
+		if len(s) < 2 {
+			return true
+		}
+		k := int(cut)%(len(s)-1) + 1
+		split := New()
+		split.WriteString(s[:k])
+		split.WriteString(s[k:])
+		whole := New()
+		whole.WriteString(s)
+		// A split write must never hash like the concatenated write.
+		return split.Sum() != whole.Sum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	h := New()
+	h.WriteString("data")
+	h.Reset()
+	if h.Sum() != New().Sum() {
+		t.Fatal("reset did not restore the offset basis")
+	}
+}
+
+func TestBoolDistinctFromInts(t *testing.T) {
+	a, b := New(), New()
+	a.WriteBool(true)
+	b.WriteBool(false)
+	if a.Sum() == b.Sum() {
+		t.Fatal("true and false collide")
+	}
+}
+
+func TestHashString(t *testing.T) {
+	if HashString("x") == HashString("y") {
+		t.Fatal("trivial collision")
+	}
+	if HashString("x") != HashString("x") {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestQuickIntsRoundTripOrderSensitive(t *testing.T) {
+	f := func(a, b []int) bool {
+		if len(a) == len(b) {
+			same := true
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+		x, y := New(), New()
+		x.WriteInts(a)
+		y.WriteInts(b)
+		return x.Sum() != y.Sum() // different slices should (essentially always) differ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

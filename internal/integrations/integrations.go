@@ -1,0 +1,105 @@
+// Package integrations wires each target system into the SandTable
+// framework: the specification factory, the implementation cluster factory
+// (node processes, transport semantics, timeout tables — the per-system
+// knowledge §4.2 describes), the state observation path, and the
+// implementation-level cost model calibrated from the paper's §5.3
+// measurements (see the substitution table in DESIGN.md).
+package integrations
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/engine"
+	"github.com/sandtable-go/sandtable/internal/sandtable"
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// registry holds all integrated systems, keyed by name.
+var registry = map[string]*sandtable.System{}
+
+func register(s *sandtable.System) { registry[s.Name] = s }
+
+// Get returns the integration for a system name.
+func Get(name string) (*sandtable.System, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("integrations: unknown system %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the integrated systems, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every integration in name order.
+func All() []*sandtable.System {
+	var out []*sandtable.System
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// VerificationBugs re-exports bugdb.VerificationBugs for convenience.
+func VerificationBugs(system string) bugdb.Set { return bugdb.VerificationBugs(system) }
+
+// Session builds the standard checking session for a system: its default
+// configuration and budget with the verification-stage defect set.
+func Session(name string) (*sandtable.SandTable, error) {
+	sys, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return sandtable.New(sys, sys.DefaultConfig, sys.DefaultBudget, VerificationBugs(name)), nil
+}
+
+// Standard timeout tables: the engine advances the virtual clock by these
+// amounts to fire the corresponding timer kinds (§3.2: "the user needs to
+// provide timeout values for timeout events").
+func raftTimeouts() map[string]time.Duration {
+	return map[string]time.Duration{
+		"election":  200 * time.Millisecond,
+		"heartbeat": 60 * time.Millisecond,
+	}
+}
+
+// defaultBudget is the bug-hunting constraint family of §5.1 (scaled to the
+// repository's seconds-scale experiments): a handful of timeouts, a couple
+// of client requests, a failure or two, and a small message buffer bound.
+func defaultBudget() spec.Budget {
+	return spec.Budget{
+		Name:        "hunt",
+		MaxTimeouts: 6, MaxCrashes: 1, MaxRestarts: 1,
+		MaxRequests: 2, MaxPartitions: 1, MaxDrops: 2, MaxDuplicates: 1,
+		MaxBuffer: 4, MaxCompactions: 1,
+	}
+}
+
+// costModel returns the §5.3-calibrated implementation-exploration cost for
+// a system: per-trace time ≈ init + depth × per-event, matching Table 4's
+// measured averages (e.g. gosyncobj ≈ 1.8 s/trace, xraft ≈ 24 s/trace).
+func costModel(init, perEvent time.Duration) engine.CostModel {
+	return engine.CostModel{
+		ClusterInit: init,
+		PerEvent:    perEvent,
+		PerTimeout:  perEvent / 2,
+		PerRequest:  perEvent / 2,
+		PerRestart:  init / 4,
+	}
+}
+
+// newSession builds a session with explicit config and defect set (test and
+// tooling helper).
+func newSession(sys *sandtable.System, cfg spec.Config, bugs bugdb.Set) *sandtable.SandTable {
+	return sandtable.New(sys, cfg, sys.DefaultBudget, bugs)
+}

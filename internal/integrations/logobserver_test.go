@@ -1,0 +1,62 @@
+package integrations
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/engine"
+	"github.com/sandtable-go/sandtable/internal/explorer"
+	"github.com/sandtable-go/sandtable/internal/replay"
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// TestLogParsingObservationAgreesWithAPI exercises the paper's second state
+// observation path (§A.4: parse debug logs with regular expressions when a
+// system has no query API): a commit-index log observer must agree with the
+// direct Observe API along a real replayed counterexample trace.
+func TestLogParsingObservationAgreesWithAPI(t *testing.T) {
+	sys, err := Get("gosyncobj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.Config{Name: "n2w2", Nodes: 2, Workload: []string{"v1", "v2"}}
+	st := newSession(sys, cfg, bugdb.NoBugs().With(bugdb.GSOCommitOldTerm))
+	res := st.Check(explorer.DefaultOptions())
+	v := res.FirstViolation()
+	if v == nil {
+		t.Fatal("no counterexample to replay")
+	}
+	cluster, err := sys.NewCluster(cfg, st.ImplBugs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.Run(v.Trace, cluster, replay.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := engine.NewLogObserver(map[string]string{
+		"commit": `commit advanced to (\d+)`,
+		"term":   `election started term=(\d+)`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cluster.N(); i++ {
+		api, err := cluster.Observe(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs, err := cluster.ObserveLogs(i, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := logs["commit"]; ok && got != api["commit"] {
+			t.Errorf("node %d: log-parsed commit %s != API commit %s", i, got, api["commit"])
+		}
+		if got, ok := logs["commit"]; !ok {
+			_ = got
+		} else if _, err := strconv.Atoi(got); err != nil {
+			t.Errorf("node %d: log-parsed commit %q is not a number", i, got)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package ranking implements Algorithm 1 of the paper: ranking budget
+// constraints for each model configuration by random-walk heuristics.
+//
+// For each (configuration, constraint) pair, SandTable performs seeded
+// random walks in the specification state space and collects branch
+// coverage, event diversity, and exploration depth. Constraints are then
+// sorted — by default branch coverage descending, then event diversity
+// descending, then depth ascending (a smaller depth indicates a smaller
+// space that bounded BFS can exhaust). Users may install a different sort.
+package ranking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/explorer"
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// Factory instantiates a specification machine from a configuration and a
+// budget constraint. Each integrated system registers one.
+type Factory func(cfg spec.Config, b spec.Budget) spec.Machine
+
+// Entry is the collected data for one (config, constraint) pair.
+type Entry struct {
+	Config spec.Config
+	Budget spec.Budget
+	Stats  explorer.AggregateStats
+}
+
+// Less is a sort order over entries. The default order is
+// BranchCoverageFirst.
+type Less func(a, b *Entry) bool
+
+// BranchCoverageFirst is the paper's built-in sorting function: branch
+// coverage decreasing, then event diversity decreasing, then depth
+// increasing.
+func BranchCoverageFirst(a, b *Entry) bool {
+	if a.Stats.BranchCoverage != b.Stats.BranchCoverage {
+		return a.Stats.BranchCoverage > b.Stats.BranchCoverage
+	}
+	if a.Stats.EventDiversity != b.Stats.EventDiversity {
+		return a.Stats.EventDiversity > b.Stats.EventDiversity
+	}
+	if a.Stats.MaxDepth != b.Stats.MaxDepth {
+		return a.Stats.MaxDepth < b.Stats.MaxDepth
+	}
+	return a.Budget.Name < b.Budget.Name
+}
+
+// DepthFirst is an alternative order used in the ranking ablation bench:
+// it prefers deeper walks outright.
+func DepthFirst(a, b *Entry) bool {
+	if a.Stats.MaxDepth != b.Stats.MaxDepth {
+		return a.Stats.MaxDepth > b.Stats.MaxDepth
+	}
+	return BranchCoverageFirst(a, b)
+}
+
+// Options configures the ranking run.
+type Options struct {
+	// WalksPerPair is the number of random walks per (config, constraint).
+	WalksPerPair int
+	// WalkDepth bounds each walk (0 = until deadlock).
+	WalkDepth int
+	// Seed makes the ranking reproducible.
+	Seed int64
+	// Timeout bounds the whole ranking run (0 = off).
+	Timeout time.Duration
+	// Less overrides the sort order (nil = BranchCoverageFirst).
+	Less Less
+}
+
+// DefaultOptions mirrors the paper's usage: a handful of short walks per
+// pair is enough to separate constraint sets.
+func DefaultOptions() Options {
+	return Options{WalksPerPair: 32, WalkDepth: 0, Seed: 1}
+}
+
+// Ranking holds the per-configuration sorted constraint lists.
+type Ranking struct {
+	ByConfig map[string][]*Entry
+}
+
+// Rank runs Algorithm 1: for every configuration, walk every constraint,
+// collect data, and sort the constraints.
+func Rank(factory Factory, configs []spec.Config, budgets []spec.Budget, opts Options) *Ranking {
+	if opts.WalksPerPair <= 0 {
+		opts.WalksPerPair = DefaultOptions().WalksPerPair
+	}
+	less := opts.Less
+	if less == nil {
+		less = BranchCoverageFirst
+	}
+	start := time.Now()
+	r := &Ranking{ByConfig: make(map[string][]*Entry)}
+	for _, cfg := range configs {
+		var entries []*Entry
+		for _, b := range budgets {
+			if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+				break
+			}
+			m := factory(cfg, b)
+			sim := explorer.NewSimulator(m, explorer.SimOptions{
+				MaxDepth: opts.WalkDepth,
+				Seed:     opts.Seed,
+			})
+			walks := sim.Walks(opts.WalksPerPair)
+			entries = append(entries, &Entry{Config: cfg, Budget: b, Stats: explorer.Aggregate(walks)})
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return less(entries[i], entries[j]) })
+		r.ByConfig[cfg.Name] = entries
+	}
+	return r
+}
+
+// Top returns the n best constraints for a configuration.
+func (r *Ranking) Top(config string, n int) []*Entry {
+	entries := r.ByConfig[config]
+	if n > len(entries) {
+		n = len(entries)
+	}
+	return entries[:n]
+}
+
+// Format renders the ranking as a table.
+func (r *Ranking) Format() string {
+	var b strings.Builder
+	configs := make([]string, 0, len(r.ByConfig))
+	for c := range r.ByConfig {
+		configs = append(configs, c)
+	}
+	sort.Strings(configs)
+	for _, c := range configs {
+		fmt.Fprintf(&b, "config %s:\n", c)
+		fmt.Fprintf(&b, "  %-16s %8s %8s %8s %10s\n", "constraint", "branches", "events", "maxdepth", "meandepth")
+		for _, e := range r.ByConfig[c] {
+			fmt.Fprintf(&b, "  %-16s %8d %8d %8d %10.1f\n",
+				e.Budget.Name, e.Stats.BranchCoverage, e.Stats.EventDiversity, e.Stats.MaxDepth, e.Stats.MeanDepth)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package ranking
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/specs/toy"
+)
+
+// factory instantiates toy machines whose walk depth scales with the
+// process count encoded in the budget's MaxDepth field, giving the ranker
+// distinguishable constraint sets.
+func factory(cfg spec.Config, b spec.Budget) spec.Machine {
+	n := b.MaxDepth
+	if n <= 0 {
+		n = cfg.Nodes
+	}
+	return &toy.LostUpdate{N: n}
+}
+
+func TestRankOrdersByHeuristics(t *testing.T) {
+	cfgs := []spec.Config{{Name: "c", Nodes: 2}}
+	budgets := []spec.Budget{
+		{Name: "deep", MaxDepth: 4}, // deeper walks, same coverage
+		{Name: "shallow", MaxDepth: 2},
+	}
+	r := Rank(factory, cfgs, budgets, Options{WalksPerPair: 16, Seed: 1})
+	entries := r.ByConfig["c"]
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Equal branch coverage and event diversity: the default order prefers
+	// the smaller depth (a space bounded BFS can exhaust).
+	if entries[0].Budget.Name != "shallow" {
+		t.Errorf("default order ranked %q first", entries[0].Budget.Name)
+	}
+	if top := r.Top("c", 1); len(top) != 1 || top[0].Budget.Name != "shallow" {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestDepthFirstOrder(t *testing.T) {
+	cfgs := []spec.Config{{Name: "c", Nodes: 2}}
+	budgets := []spec.Budget{
+		{Name: "deep", MaxDepth: 4},
+		{Name: "shallow", MaxDepth: 2},
+	}
+	r := Rank(factory, cfgs, budgets, Options{WalksPerPair: 16, Seed: 1, Less: DepthFirst})
+	if r.ByConfig["c"][0].Budget.Name != "deep" {
+		t.Errorf("depth-first ranked %q first", r.ByConfig["c"][0].Budget.Name)
+	}
+}
+
+func TestRankIsDeterministic(t *testing.T) {
+	cfgs := []spec.Config{{Name: "c", Nodes: 2}}
+	budgets := []spec.Budget{{Name: "a", MaxDepth: 3}, {Name: "b", MaxDepth: 3}}
+	r1 := Rank(factory, cfgs, budgets, Options{WalksPerPair: 8, Seed: 5})
+	r2 := Rank(factory, cfgs, budgets, Options{WalksPerPair: 8, Seed: 5})
+	if r1.Format() != r2.Format() {
+		t.Error("same seed produced different rankings")
+	}
+}
+
+func TestFormatContainsColumns(t *testing.T) {
+	cfgs := []spec.Config{{Name: "c", Nodes: 2}}
+	budgets := []spec.Budget{{Name: "only", MaxDepth: 2}}
+	out := Rank(factory, cfgs, budgets, Options{WalksPerPair: 4, Seed: 1}).Format()
+	for _, col := range []string{"branches", "events", "maxdepth", "only"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("format missing %q:\n%s", col, out)
+		}
+	}
+}

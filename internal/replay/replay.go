@@ -1,0 +1,154 @@
+// Package replay converts specification-level trace events into
+// deterministic-execution commands and replays them against a running
+// cluster — the mechanism behind both conformance checking (§3.2) and bug
+// confirmation (§3.4 — "SandTable reproduces the bugs at the implementation
+// level by replaying the event interleaving").
+package replay
+
+import (
+	"fmt"
+
+	"github.com/sandtable-go/sandtable/internal/engine"
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+// Convert maps one trace event to an engine command. Message delivery and
+// failure events convert automatically; timeout events carry their kind in
+// Payload and resolve against the cluster's configured timeout table;
+// client-request events carry their payload verbatim (the user-supplied
+// request command of §3.2).
+func Convert(ev trace.Event) (engine.Command, bool) {
+	switch ev.Type {
+	case trace.EvInternal:
+		return engine.Command{}, false
+	default:
+		return engine.Command{
+			Type:    ev.Type,
+			Node:    ev.Node,
+			Peer:    ev.Peer,
+			Index:   ev.Index,
+			Payload: ev.Payload,
+		}, true
+	}
+}
+
+// StepResult records the comparison outcome after one replayed event.
+type StepResult struct {
+	Step  int
+	Event trace.Event
+	// DiffKeys are the variables whose specification and implementation
+	// values disagree after this event (nil when conforming).
+	DiffKeys []string
+	SpecVars map[string]string
+	ImplVars map[string]string
+	// Err is a command-execution failure (including implementation crashes
+	// surfaced as *engine.CrashError).
+	Err error
+}
+
+// Divergent reports whether the step exposed a discrepancy.
+func (s *StepResult) Divergent() bool { return s.Err != nil || len(s.DiffKeys) > 0 }
+
+// Describe renders the discrepancy for the report the user debugs from.
+func (s *StepResult) Describe() string {
+	if s.Err != nil {
+		return fmt.Sprintf("step %d (%s): %v", s.Step+1, s.Event, s.Err)
+	}
+	out := fmt.Sprintf("step %d (%s): %d variable(s) diverge:", s.Step+1, s.Event, len(s.DiffKeys))
+	for _, k := range s.DiffKeys {
+		out += fmt.Sprintf("\n  %-14s spec=%s impl=%s", k, s.SpecVars[k], s.ImplVars[k])
+	}
+	return out
+}
+
+// Result is a full replay outcome.
+type Result struct {
+	Steps      int
+	Divergence *StepResult // first divergent step, nil when fully conforming
+	// Confirmed is set by ConfirmBug: the implementation reproduced every
+	// specification state along the bug trace, so the bug is real (§3.4).
+	Confirmed bool
+}
+
+// Options tunes a replay.
+type Options struct {
+	// CompareEachStep diffs spec vs impl variables after every event
+	// (conformance mode). When false only command execution errors are
+	// detected (fast confirmation mode still compares the final state).
+	CompareEachStep bool
+	// IgnoreVars excludes variable keys from comparison.
+	IgnoreVars []string
+	// Observe overrides how implementation variables are collected
+	// (defaults to Cluster.ObserveAll).
+	Observe func(*engine.Cluster) (map[string]string, error)
+}
+
+// Run replays a trace against the cluster.
+func Run(t *trace.Trace, c *engine.Cluster, opts Options) (*Result, error) {
+	observe := opts.Observe
+	if observe == nil {
+		observe = func(c *engine.Cluster) (map[string]string, error) { return c.ObserveAll() }
+	}
+	ignored := make(map[string]bool, len(opts.IgnoreVars))
+	for _, k := range opts.IgnoreVars {
+		ignored[k] = true
+	}
+	res := &Result{}
+	for i, step := range t.Steps {
+		cmd, ok := Convert(step.Event)
+		if !ok {
+			continue
+		}
+		res.Steps++
+		sr := &StepResult{Step: i, Event: step.Event}
+		if err := c.Apply(cmd); err != nil {
+			sr.Err = err
+			res.Divergence = sr
+			return res, nil
+		}
+		compare := opts.CompareEachStep || i == len(t.Steps)-1
+		if compare && step.Vars != nil {
+			impl, err := observe(c)
+			if err != nil {
+				return nil, fmt.Errorf("replay: observe after step %d: %w", i+1, err)
+			}
+			diff := diffIntersection(step.Vars, impl, ignored)
+			if len(diff) > 0 {
+				sr.DiffKeys = diff
+				sr.SpecVars = step.Vars
+				sr.ImplVars = impl
+				res.Divergence = sr
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// ConfirmBug replays a violation trace and confirms the bug exists in the
+// implementation: the replay must conform at every step, ending in the
+// violating state. Any discrepancy means the specification does not match
+// the implementation (a potential false alarm) and is reported instead.
+func ConfirmBug(t *trace.Trace, c *engine.Cluster, opts Options) (*Result, error) {
+	opts.CompareEachStep = true
+	res, err := Run(t, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Confirmed = res.Divergence == nil
+	return res, nil
+}
+
+// diffIntersection returns the keys present in both maps (minus ignored)
+// whose values differ — SandTable compares the specification variables with
+// their implementation counterparts (§3.2).
+func diffIntersection(spec, impl map[string]string, ignored map[string]bool) []string {
+	keys := trace.DiffVars(spec, impl)
+	out := keys[:0]
+	for _, k := range keys {
+		if !ignored[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

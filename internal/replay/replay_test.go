@@ -1,0 +1,47 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+func TestConvertMapsEventFields(t *testing.T) {
+	ev := trace.Event{Type: trace.EvDeliver, Action: "HandleX", Node: 2, Peer: 1, Index: 3}
+	cmd, ok := Convert(ev)
+	if !ok {
+		t.Fatal("deliver should convert")
+	}
+	if cmd.Type != trace.EvDeliver || cmd.Node != 2 || cmd.Peer != 1 || cmd.Index != 3 {
+		t.Errorf("cmd = %+v", cmd)
+	}
+	if _, ok := Convert(trace.Event{Type: trace.EvInternal}); ok {
+		t.Error("internal events must not convert")
+	}
+	cmd, _ = Convert(trace.Event{Type: trace.EvTimeout, Node: 1, Payload: "election"})
+	if cmd.Payload != "election" {
+		t.Errorf("timeout payload = %q", cmd.Payload)
+	}
+}
+
+func TestStepResultDescribe(t *testing.T) {
+	sr := &StepResult{
+		Step:     2,
+		Event:    trace.Event{Type: trace.EvRequest, Action: "ClientRequest", Node: 0, Payload: "v1"},
+		DiffKeys: []string{"commit[0]"},
+		SpecVars: map[string]string{"commit[0]": "1"},
+		ImplVars: map[string]string{"commit[0]": "0"},
+	}
+	out := sr.Describe()
+	if !strings.Contains(out, "step 3") || !strings.Contains(out, "commit[0]") ||
+		!strings.Contains(out, "spec=1") || !strings.Contains(out, "impl=0") {
+		t.Errorf("describe = %q", out)
+	}
+	if !sr.Divergent() {
+		t.Error("diff keys should mark divergence")
+	}
+	if (&StepResult{}).Divergent() {
+		t.Error("empty step result must not be divergent")
+	}
+}

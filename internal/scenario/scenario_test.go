@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/specs/toy"
+)
+
+func TestRunFollowsScript(t *testing.T) {
+	m := &toy.LostUpdate{N: 2}
+	tr, err := Run(m, []string{"Read", "Read", "Write", "Write"})
+	if err == nil {
+		t.Fatal("bare \"Read\" is ambiguous between the two processes")
+	}
+	// The event strings for internal events are just the action name, so
+	// disambiguation needs full successor enumeration context; the toy
+	// model's two processes produce identical strings. Use the atomic
+	// variant where each step is unique after the first pick.
+	m2 := &toy.LostUpdate{N: 1}
+	tr, err = Run(m2, []string{"Read", "Write"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 2 {
+		t.Fatalf("depth = %d", tr.Depth())
+	}
+	if tr.Steps[1].Vars["mem"] != "1" {
+		t.Errorf("final mem = %s", tr.Steps[1].Vars["mem"])
+	}
+}
+
+func TestRunReportsUnmatchedStep(t *testing.T) {
+	m := &toy.LostUpdate{N: 1}
+	_, err := Run(m, []string{"Flip"})
+	if err == nil || !strings.Contains(err.Error(), "no enabled event") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "Read") {
+		t.Errorf("error should list enabled events: %v", err)
+	}
+}
+
+func TestRunReportsAmbiguity(t *testing.T) {
+	m := &toy.LostUpdate{N: 2}
+	_, err := Run(m, []string{"Read"})
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package spec defines SandTable's specification framework: the state-machine
+// abstraction over which the explorer performs specification-level model
+// checking (§3.1 of the paper).
+//
+// A specification is a state machine with an initial-state set, a successor
+// relation (actions with preconditions that fire node-level events such as
+// message handling, timeouts, client requests, and failures), correctness
+// properties (safety invariants used as bug oracles), and state constraints
+// that bound the exploration (budget constraints on timeouts, crashes,
+// client requests, and network operations).
+//
+// Where the paper writes specifications in TLA+ and explores them with TLC,
+// this reproduction writes them as Go state machines and explores them with
+// the internal/explorer package, which reimplements TLC's stateful BFS and
+// simulation (random walk) modes.
+package spec
+
+import (
+	"fmt"
+
+	"github.com/sandtable-go/sandtable/internal/fp"
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+// State is one specification-level system state. Implementations must be
+// treated as immutable once returned from Init or Next: actions clone the
+// state, mutate the clone, and return it.
+type State interface {
+	// Fingerprint returns a canonical 64-bit digest of the state. Equal
+	// states must produce equal fingerprints; the explorer treats distinct
+	// states with colliding fingerprints as identical (the same engineering
+	// tradeoff TLC makes).
+	Fingerprint() uint64
+	// Vars renders every specification variable to a canonical string,
+	// keyed by variable name (per-node variables use "var[i]" keys). The
+	// conformance checker compares these against implementation state.
+	Vars() map[string]string
+}
+
+// Succ is one enabled transition out of a state: the node-level event that
+// fires it and the successor state it produces.
+type Succ struct {
+	Event trace.Event
+	State State
+}
+
+// Invariant is a named safety property. Check returns nil when the property
+// holds in the given state and a descriptive error when it is violated.
+type Invariant struct {
+	Name  string
+	Check func(State) error
+}
+
+// Machine is a system specification: a state machine suitable for model
+// checking. Implementations live in internal/specs/<system>.
+type Machine interface {
+	// Name identifies the specification (e.g. "gosyncobj").
+	Name() string
+	// Init returns the initial states.
+	Init() []State
+	// Next enumerates every enabled transition from s. The returned
+	// successor states must already satisfy the machine's internal budget
+	// accounting (Next must not enumerate transitions that exceed budgets).
+	Next(s State) []Succ
+	// Invariants returns the safety properties checked on every state.
+	Invariants() []Invariant
+}
+
+// Symmetric is an optional Machine capability enabling symmetry reduction
+// (§3.3: "permuting the nodes and workload values does not change whether an
+// action satisfies an invariant"). Permute returns the state with node
+// identities permuted by perm (perm[i] = new identity of node i).
+type Symmetric interface {
+	NumNodes() int
+	Permute(s State, perm []int) State
+}
+
+// FastSymmetric is an optional refinement of Symmetric: machines that can
+// compute the fingerprint of a permuted state without materialising it
+// (avoiding one full state copy per permutation per successor) implement
+// this; the explorer prefers it when present. The contract is
+//
+//	PermutedFingerprint(s, perm) == Permute(s, perm).Fingerprint()
+//
+// which the specification test suites verify by property testing.
+type FastSymmetric interface {
+	Symmetric
+	PermutedFingerprint(s State, perm []int) uint64
+}
+
+// Config instantiates a model: the node count and the workload values that
+// client requests write (the paper's "system configurations" in §3.3).
+type Config struct {
+	Name     string
+	Nodes    int
+	Workload []string
+}
+
+// DefaultConfig is the 3-node, two-workload-value configuration used in most
+// of the paper's experiments.
+func DefaultConfig() Config {
+	return Config{Name: "n3w2", Nodes: 3, Workload: []string{"v1", "v2"}}
+}
+
+// Budget bounds the explored state space (the paper's "budget constraints"):
+// maximum counts of timeouts, crashes/restarts, client requests, partitions,
+// UDP drops/duplications, in-flight messages per channel, and exploration
+// depth. A zero MaxDepth means unbounded depth.
+type Budget struct {
+	Name           string
+	MaxTimeouts    int
+	MaxCrashes     int
+	MaxRestarts    int
+	MaxRequests    int
+	MaxPartitions  int
+	MaxDrops       int
+	MaxDuplicates  int
+	MaxBuffer      int
+	MaxCompactions int
+	MaxDepth       int
+}
+
+// Map renders the budget as the generic config map recorded in traces.
+func (b Budget) Map() map[string]int {
+	return map[string]int{
+		"MaxTimeouts":    b.MaxTimeouts,
+		"MaxCrashes":     b.MaxCrashes,
+		"MaxRestarts":    b.MaxRestarts,
+		"MaxRequests":    b.MaxRequests,
+		"MaxPartitions":  b.MaxPartitions,
+		"MaxDrops":       b.MaxDrops,
+		"MaxDuplicates":  b.MaxDuplicates,
+		"MaxBuffer":      b.MaxBuffer,
+		"MaxCompactions": b.MaxCompactions,
+		"MaxDepth":       b.MaxDepth,
+	}
+}
+
+// Double returns the budget with every bound doubled — Table 3's
+// experiment #2 doubles each constraint value of experiment #1.
+func (b Budget) Double() Budget {
+	d := b
+	d.Name = b.Name + "x2"
+	d.MaxTimeouts *= 2
+	d.MaxCrashes *= 2
+	d.MaxRestarts *= 2
+	d.MaxRequests *= 2
+	d.MaxPartitions *= 2
+	d.MaxDrops *= 2
+	d.MaxDuplicates *= 2
+	d.MaxBuffer *= 2
+	d.MaxCompactions *= 2
+	if b.MaxDepth > 0 {
+		d.MaxDepth = b.MaxDepth * 2
+	}
+	return d
+}
+
+// Counters tracks how much of each budget a state has consumed. Specs embed
+// Counters in their state structs; actions bump the relevant counter and
+// refuse to enumerate once the budget is exhausted.
+type Counters struct {
+	Timeouts    int
+	Crashes     int
+	Restarts    int
+	Requests    int
+	Partitions  int
+	Drops       int
+	Duplicates  int
+	Compactions int
+}
+
+// Hash mixes the counters into a state fingerprint.
+func (c *Counters) Hash(h *fp.Hasher) {
+	h.Sep()
+	h.WriteInt(c.Timeouts)
+	h.WriteInt(c.Crashes)
+	h.WriteInt(c.Restarts)
+	h.WriteInt(c.Requests)
+	h.WriteInt(c.Partitions)
+	h.WriteInt(c.Drops)
+	h.WriteInt(c.Duplicates)
+	h.WriteInt(c.Compactions)
+}
+
+// Vars renders the counters for conformance output.
+func (c *Counters) Vars(m map[string]string) {
+	m["counters"] = fmt.Sprintf("timeouts=%d crashes=%d restarts=%d requests=%d partitions=%d drops=%d dups=%d",
+		c.Timeouts, c.Crashes, c.Restarts, c.Requests, c.Partitions, c.Drops, c.Duplicates)
+}
+
+// CanTimeout etc. report whether the corresponding budget still has room.
+func (c *Counters) CanTimeout(b Budget) bool   { return c.Timeouts < b.MaxTimeouts }
+func (c *Counters) CanCrash(b Budget) bool     { return c.Crashes < b.MaxCrashes }
+func (c *Counters) CanRestart(b Budget) bool   { return c.Restarts < b.MaxRestarts }
+func (c *Counters) CanRequest(b Budget) bool   { return c.Requests < b.MaxRequests }
+func (c *Counters) CanPartition(b Budget) bool { return c.Partitions < b.MaxPartitions }
+func (c *Counters) CanDrop(b Budget) bool      { return c.Drops < b.MaxDrops }
+func (c *Counters) CanDuplicate(b Budget) bool { return c.Duplicates < b.MaxDuplicates }
+func (c *Counters) CanCompact(b Budget) bool   { return c.Compactions < b.MaxCompactions }
+
+// Violation is the standard auxiliary variable specs use to flag
+// action-property violations (e.g. "match index is not monotonic", which is
+// a property of a transition rather than of a single state). Actions set the
+// flag when the property is broken; the ViolationInvariant then reports it.
+type Violation struct {
+	Flag string
+}
+
+// Set records a violation description (first one wins).
+func (v *Violation) Set(format string, args ...any) {
+	if v.Flag == "" {
+		v.Flag = fmt.Sprintf(format, args...)
+	}
+}
+
+// Hash mixes the violation flag into a fingerprint.
+func (v *Violation) Hash(h *fp.Hasher) {
+	h.Sep()
+	h.WriteString(v.Flag)
+}
+
+// ViolationInvariant returns the invariant that fails whenever a state
+// carries a flagged action-property violation.
+func ViolationInvariant(get func(State) string) Invariant {
+	return Invariant{
+		Name: "NoFlaggedViolation",
+		Check: func(s State) error {
+			if f := get(s); f != "" {
+				return fmt.Errorf("%s", f)
+			}
+			return nil
+		},
+	}
+}
+
+// Permutations returns all permutations of 0..n-1 (used for symmetry
+// reduction; n is small — the paper uses 2- and 3-node configurations).
+func Permutations(n int) [][]int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			p := make([]int, n)
+			copy(p, ids)
+			out = append(out, p)
+			return
+		}
+		for i := k; i < n; i++ {
+			ids[k], ids[i] = ids[i], ids[k]
+			rec(k + 1)
+			ids[k], ids[i] = ids[i], ids[k]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,375 @@
+package raftbase
+
+import (
+	"fmt"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/trace"
+	"github.com/sandtable-go/sandtable/internal/vnet"
+)
+
+// Profile selects a system dialect: the same Raft skeleton with the
+// particular reply formulas, optimisations, and extensions of each target
+// system.
+type Profile int
+
+// Profiles.
+const (
+	// GoSyncObj: TCP, optimistic next-index advance, follower Inext hints.
+	GoSyncObj Profile = iota
+	// CRaft: UDP, log compaction + snapshots, retry-on-reject.
+	CRaft
+	// AsyncRaft: UDP, asyncio-style replication loop.
+	AsyncRaft
+	// Xraft: TCP, PreVote.
+	Xraft
+)
+
+// Options instantiate the specification.
+type Options struct {
+	System    string
+	Profile   Profile
+	Transport vnet.Semantics
+	PreVote   bool
+	Snapshots bool
+	KV        bool
+	// Volatile marks systems that persist nothing across a crash (the
+	// in-memory gosyncobj): a restarted node loses its term, vote, and log
+	// in addition to the volatile Raft state.
+	Volatile bool
+	// ContinuePastFlag keeps exploring beyond states whose violation flag
+	// is set. By default a flagged state is terminal (the violation has
+	// been found; exploring further wastes states), but reproducing
+	// multi-defect scenarios such as Figure 7 — where a flagged send must
+	// still be delivered — requires exploring past the flag.
+	ContinuePastFlag bool
+	Bugs             bugdb.Set
+	Config           spec.Config
+	Budget           spec.Budget
+}
+
+// Machine is the Raft-family specification engine.
+type Machine struct {
+	opt Options
+	n   int
+}
+
+// New builds the machine.
+func New(opt Options) *Machine {
+	return &Machine{opt: opt, n: opt.Config.Nodes}
+}
+
+// Name implements spec.Machine.
+func (m *Machine) Name() string { return m.opt.System }
+
+// Options exposes the instantiation (used by integrations).
+func (m *Machine) Options() Options { return m.opt }
+
+// Init implements spec.Machine.
+func (m *Machine) Init() []spec.State {
+	s := newState(m.n)
+	s.snapshots = m.opt.Snapshots
+	s.kv = m.opt.KV
+	return []spec.State{s}
+}
+
+// NumNodes implements spec.Symmetric.
+func (m *Machine) NumNodes() int { return m.n }
+
+// Permute implements spec.Symmetric.
+func (m *Machine) Permute(st spec.State, perm []int) spec.State {
+	return st.(*State).permute(perm)
+}
+
+func (m *Machine) bug(k bugdb.Key) bool { return m.opt.Bugs.Has(k) }
+
+func (m *Machine) quorum() int { return m.n/2 + 1 }
+
+// Next implements spec.Machine: enumerate every enabled node-level event.
+func (m *Machine) Next(st spec.State) []spec.Succ {
+	s := st.(*State)
+	if s.Viol.Flag != "" && !m.opt.ContinuePastFlag {
+		// A flagged state is terminal: the violation has been detected and
+		// exploring beyond it only wastes states.
+		return nil
+	}
+	var out []spec.Succ
+	add := func(ev trace.Event, n *State) {
+		if m.overflows(n) {
+			return
+		}
+		out = append(out, spec.Succ{Event: ev, State: n})
+	}
+
+	b := m.opt.Budget
+	for i := 0; i < m.n; i++ {
+		if !s.Up[i] {
+			continue
+		}
+		// Election timeout: any non-leader may time out at any moment.
+		if s.Role[i] != Leader && s.Counters.CanTimeout(b) {
+			n := s.clone()
+			n.Counters.Timeouts++
+			m.electionTimeout(n, i)
+			add(trace.Event{Type: trace.EvTimeout, Action: "TimeoutElection", Node: i, Payload: "election"}, n)
+		}
+		// Heartbeat timeout: leaders replicate on their heartbeat timer.
+		if s.Role[i] == Leader && s.Counters.CanTimeout(b) {
+			n := s.clone()
+			n.Counters.Timeouts++
+			m.broadcastAppend(n, i)
+			add(trace.Event{Type: trace.EvTimeout, Action: "TimeoutHeartbeat", Node: i, Payload: "heartbeat"}, n)
+		}
+		// Client requests are served by leaders.
+		if s.Role[i] == Leader && s.Counters.CanRequest(b) {
+			if m.opt.KV {
+				for _, v := range m.opt.Config.Workload {
+					n := s.clone()
+					n.Counters.Requests++
+					m.clientPut(n, i, "x", v)
+					add(trace.Event{Type: trace.EvRequest, Action: "ClientPut", Node: i, Payload: "put x " + v}, n)
+				}
+				if m.getEnabled(s, i) {
+					n := s.clone()
+					n.Counters.Requests++
+					m.clientGet(n, i, "x")
+					add(trace.Event{Type: trace.EvRequest, Action: "ClientGet", Node: i, Payload: "get x"}, n)
+				}
+			} else {
+				for _, v := range m.opt.Config.Workload {
+					n := s.clone()
+					n.Counters.Requests++
+					m.clientAppend(n, i, v)
+					add(trace.Event{Type: trace.EvRequest, Action: "ClientRequest", Node: i, Payload: v}, n)
+				}
+			}
+		}
+		// Log compaction (snapshotting systems): an internal admin action.
+		if m.opt.Snapshots && s.Role[i] == Leader && s.Commit[i] > s.SnapIdx[i] && s.Counters.CanCompact(b) {
+			n := s.clone()
+			n.Counters.Compactions++
+			m.compactLog(n, i)
+			add(trace.Event{Type: trace.EvRequest, Action: "CompactLog", Node: i, Payload: "!compact"}, n)
+		}
+		// Node crash.
+		if s.Counters.CanCrash(b) {
+			n := s.clone()
+			n.Counters.Crashes++
+			m.crash(n, i)
+			add(trace.Event{Type: trace.EvCrash, Action: "NodeCrash", Node: i}, n)
+		}
+	}
+	// Node restart.
+	for i := 0; i < m.n; i++ {
+		if s.Up[i] || !s.Counters.CanRestart(b) {
+			continue
+		}
+		n := s.clone()
+		n.Counters.Restarts++
+		m.restart(n, i)
+		add(trace.Event{Type: trace.EvRestart, Action: "NodeStart", Node: i}, n)
+	}
+
+	// Message deliveries and UDP manipulations.
+	for src := 0; src < m.n; src++ {
+		for dst := 0; dst < m.n; dst++ {
+			q := s.Chan[src][dst]
+			if src == dst || len(q) == 0 || !s.Up[dst] {
+				continue
+			}
+			limit := 1 // TCP: head only
+			if m.opt.Transport == vnet.UDP {
+				limit = len(q)
+			}
+			for k := 0; k < limit; k++ {
+				n := s.clone()
+				msg := n.takeMsg(src, dst, k)
+				action := m.dispatch(n, src, dst, msg)
+				add(trace.Event{Type: trace.EvDeliver, Action: action, Node: dst, Peer: src, Index: k}, n)
+			}
+			if m.opt.Transport == vnet.UDP {
+				for k := 0; k < len(q); k++ {
+					if s.Counters.CanDrop(b) {
+						n := s.clone()
+						n.Counters.Drops++
+						n.takeMsg(src, dst, k)
+						add(trace.Event{Type: trace.EvDrop, Action: "DropMessage", Node: dst, Peer: src, Index: k}, n)
+					}
+					if s.Counters.CanDuplicate(b) {
+						n := s.clone()
+						n.Counters.Duplicates++
+						n.Chan[src][dst] = append(n.Chan[src][dst], n.Chan[src][dst][k])
+						add(trace.Event{Type: trace.EvDuplicate, Action: "DuplicateMessage", Node: dst, Peer: src, Index: k}, n)
+					}
+				}
+			}
+		}
+	}
+
+	// Network partitions and recovery (TCP failure model).
+	if m.opt.Transport == vnet.TCP {
+		for a := 0; a < m.n; a++ {
+			for bn := a + 1; bn < m.n; bn++ {
+				if !s.Part[a][bn] && s.Counters.CanPartition(b) {
+					n := s.clone()
+					n.Counters.Partitions++
+					m.partition(n, a, bn)
+					add(trace.Event{Type: trace.EvPartition, Action: "NetworkPartition", Node: a, Peer: bn}, n)
+				}
+				if s.Part[a][bn] {
+					n := s.clone()
+					m.heal(n, a, bn)
+					add(trace.Event{Type: trace.EvRecover, Action: "NetworkRecover", Node: a, Peer: bn}, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// overflows enforces the MaxBuffer budget: transitions that would leave any
+// channel over the bound are not enumerated.
+func (m *Machine) overflows(s *State) bool {
+	if m.opt.Budget.MaxBuffer <= 0 {
+		return false
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if len(s.Chan[i][j]) > m.opt.Budget.MaxBuffer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// takeMsg removes and returns message k of channel src→dst.
+func (s *State) takeMsg(src, dst, k int) Msg {
+	q := s.Chan[src][dst]
+	msg := q[k]
+	s.Chan[src][dst] = append(q[:k:k], q[k+1:]...)
+	return msg
+}
+
+// send appends a message to a channel unless the connection is severed
+// (mirrors vnet.Send dropping across cut pairs).
+func (s *State) send(src, dst int, msg Msg) {
+	if src == dst || s.Cut[src][dst] {
+		return
+	}
+	s.Chan[src][dst] = append(s.Chan[src][dst], msg)
+}
+
+// dispatch routes a delivered message to its handler and returns the action
+// name for coverage accounting.
+func (m *Machine) dispatch(s *State, src, dst int, msg Msg) string {
+	switch msg.Type {
+	case "rv":
+		m.handleRequestVote(s, dst, src, msg)
+		return "HandleRequestVote"
+	case "rvr":
+		m.handleRequestVoteResponse(s, dst, src, msg)
+		return "HandleRequestVoteResponse"
+	case "ae":
+		m.handleAppendEntries(s, dst, src, msg)
+		return "HandleAppendEntries"
+	case "aer":
+		m.handleAppendEntriesResponse(s, dst, src, msg)
+		return "HandleAppendEntriesResponse"
+	case "snap":
+		m.handleSnapshot(s, dst, src, msg)
+		return "HandleSnapshot"
+	default:
+		panic(fmt.Sprintf("raftbase: unknown message type %q", msg.Type))
+	}
+}
+
+// Environment actions.
+
+func (m *Machine) crash(s *State, i int) {
+	s.Up[i] = false
+	for j := 0; j < m.n; j++ {
+		if j == i {
+			continue
+		}
+		s.Chan[i][j] = nil
+		s.Chan[j][i] = nil
+		s.Cut[i][j] = true
+		s.Cut[j][i] = true
+	}
+	// Volatile state is lost; we clear it eagerly so fingerprints do not
+	// distinguish dead states by unreachable data. Durable state (term,
+	// votedFor, log, snapshot) survives — unless the whole system is
+	// in-memory (Volatile option), in which case everything resets.
+	s.Role[i] = Follower
+	s.Commit[i] = 0
+	s.Votes[i] = nil
+	s.PreVotes[i] = nil
+	s.Next[i] = nil
+	s.Match[i] = nil
+	if m.opt.Volatile {
+		s.Term[i] = 0
+		s.VotedFor[i] = -1
+		s.Log[i] = nil
+		s.SnapIdx[i] = 0
+		s.SnapTerm[i] = 0
+	}
+}
+
+func (m *Machine) restart(s *State, i int) {
+	s.Up[i] = true
+	for j := 0; j < m.n; j++ {
+		if j == i || !s.Up[j] {
+			continue
+		}
+		if s.Part[i][j] || s.Part[j][i] {
+			continue
+		}
+		s.Cut[i][j] = false
+		s.Cut[j][i] = false
+	}
+}
+
+func (m *Machine) partition(s *State, a, b int) {
+	s.Part[a][b] = true
+	s.Part[b][a] = true
+	s.Cut[a][b] = true
+	s.Cut[b][a] = true
+	s.Chan[a][b] = nil
+	s.Chan[b][a] = nil
+}
+
+func (m *Machine) heal(s *State, a, b int) {
+	s.Part[a][b] = false
+	s.Part[b][a] = false
+	if s.Up[a] && s.Up[b] {
+		s.Cut[a][b] = false
+		s.Cut[b][a] = false
+	}
+}
+
+// Actions lists the specification's action names (Table 1's #Act): the
+// node-level events Next can fire under this instantiation.
+func (m *Machine) Actions() []string {
+	acts := []string{
+		"TimeoutElection", "TimeoutHeartbeat",
+		"HandleRequestVote", "HandleRequestVoteResponse",
+		"HandleAppendEntries", "HandleAppendEntriesResponse",
+		"NodeCrash", "NodeStart",
+	}
+	if m.opt.KV {
+		acts = append(acts, "ClientPut", "ClientGet")
+	} else {
+		acts = append(acts, "ClientRequest")
+	}
+	if m.opt.Snapshots {
+		acts = append(acts, "CompactLog", "HandleSnapshot")
+	}
+	if m.opt.Transport == vnet.TCP {
+		acts = append(acts, "NetworkPartition", "NetworkRecover")
+	} else {
+		acts = append(acts, "DropMessage", "DuplicateMessage")
+	}
+	return acts
+}

@@ -1,0 +1,125 @@
+package raftbase_test
+
+import (
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/scenario"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	scraft "github.com/sandtable-go/sandtable/internal/specs/craft"
+	sdaos2 "github.com/sandtable-go/sandtable/internal/specs/daosraft"
+)
+
+// TestSnapshotTransferRepairsLaggingFollower drives the fixed craft spec
+// through compaction and a snapshot transfer: the lagging follower (whose
+// AppendEntries was lost) installs the snapshot and catches up — the
+// behaviour CRaft#3's implementation breaks.
+func TestSnapshotTransferRepairsLaggingFollower(t *testing.T) {
+	cfg := spec.Config{Name: "n3w1", Nodes: 3, Workload: []string{"v1"}}
+	b := spec.Budget{Name: "snap", MaxTimeouts: 3, MaxRequests: 2, MaxDrops: 1, MaxBuffer: 3, MaxCompactions: 1}
+	m := scraft.New(cfg, b, bugdb.NoBugs())
+	tr, err := scenario.Run(m, []string{
+		"TimeoutElection n0",
+		"HandleRequestVote 0->1",
+		"HandleRequestVoteResponse 1->0", // node 0 leads
+		`ClientRequest n0 "v1"`,
+		"HandleAppendEntries 0->1 [1]",     // replicate to node 1
+		"HandleAppendEntriesResponse 1->0", // commit
+		"CompactLog n0",                    // entry compacted
+		"DropMessage 0->2 [2]",             // node 2 misses the entry
+		"TimeoutHeartbeat n0",              // snapshot transfer to node 2
+		"HandleSnapshot 0->2 [2]",          // install
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := tr.Steps[len(tr.Steps)-1].Vars
+	if final["snapshot[2]"] != "1@1" {
+		t.Errorf("follower snapshot = %s, want 1@1", final["snapshot[2]"])
+	}
+	if final["commit[2]"] != "1" {
+		t.Errorf("follower commit = %s, want 1", final["commit[2]"])
+	}
+	if final["log[2]"] != "[]" {
+		t.Errorf("follower log = %s, want [] (covered by the snapshot)", final["log[2]"])
+	}
+	if v := final["violation"]; v != "" {
+		t.Fatalf("violation flag set: %s", v)
+	}
+}
+
+// TestDuplicatedAppendEntriesIsIdempotent verifies UDP duplication safety in
+// the fixed craft spec: delivering the same AppendEntries twice leaves the
+// follower's log and commit unchanged after the first delivery.
+func TestDuplicatedAppendEntriesIsIdempotent(t *testing.T) {
+	cfg := spec.Config{Name: "n2w1", Nodes: 2, Workload: []string{"v1"}}
+	b := spec.Budget{Name: "dup", MaxTimeouts: 2, MaxRequests: 1, MaxDuplicates: 1, MaxBuffer: 3, MaxCompactions: 1}
+	m := scraft.New(cfg, b, bugdb.NoBugs())
+	tr, err := scenario.Run(m, []string{
+		"TimeoutElection n0",
+		"HandleRequestVote 0->1",
+		"HandleRequestVoteResponse 1->0",
+		`ClientRequest n0 "v1"`,
+		"DuplicateMessage 0->1 [1]",    // duplicate the eager AppendEntries
+		"HandleAppendEntries 0->1 [1]", // first copy appends
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := tr.Steps[len(tr.Steps)-1].Vars
+	if after1["log[1]"] != "[1:v1]" {
+		t.Fatalf("after first delivery log = %s", after1["log[1]"])
+	}
+	// Deliver the duplicate (now the tail of the channel).
+	tr2, err := scenario.Run(m, []string{
+		"TimeoutElection n0",
+		"HandleRequestVote 0->1",
+		"HandleRequestVoteResponse 1->0",
+		`ClientRequest n0 "v1"`,
+		"DuplicateMessage 0->1 [1]",
+		"HandleAppendEntries 0->1 [1]",
+		"HandleAppendEntries 0->1 [1]", // the duplicate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after2 := tr2.Steps[len(tr2.Steps)-1].Vars
+	if after2["log[1]"] != after1["log[1]"] {
+		t.Errorf("duplicate changed the log: %s -> %s", after1["log[1]"], after2["log[1]"])
+	}
+	if after2["violation"] != "" {
+		t.Errorf("violation flag: %s", after2["violation"])
+	}
+}
+
+// TestLiveLeaderSuppressesPreVote checks the fixed PreVote rule at the spec
+// level: a live leader refuses pre-votes (DaosRaft#1 is the missing check).
+func TestLiveLeaderSuppressesPreVote(t *testing.T) {
+	cfg := spec.Config{Name: "n2w1", Nodes: 2, Workload: []string{"v1"}}
+	b := spec.Budget{Name: "pv", MaxTimeouts: 3, MaxBuffer: 4}
+	mFixed := sdaos2.New(cfg, b, bugdb.NoBugs())
+	tr, err := scenario.Run(mFixed, []string{
+		"TimeoutElection n0", // prevote round
+		"HandleRequestVote 0->1",
+		"HandleRequestVoteResponse 1->0", // prevote granted: real election
+		"HandleRequestVote 0->1",
+		"HandleRequestVoteResponse 1->0", // node 0 leads
+		"TimeoutElection n1",             // node 1 tries a prevote
+		"HandleRequestVote 1->0",         // the live leader refuses it
+		"HandleAppendEntries 0->1",       // the leader's heartbeat wins node 1 back
+		"HandleRequestVoteResponse 0->1", // the refusal arrives: ignored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := tr.Steps[len(tr.Steps)-1].Vars
+	if final["role[1]"] != "follower" {
+		t.Errorf("node 1 role = %s, want follower (prevote suppressed)", final["role[1]"])
+	}
+	if final["role[0]"] != "leader" || final["term[0]"] != "1" {
+		t.Errorf("node 0 must keep its term-1 leadership: role=%s term=%s", final["role[0]"], final["term[0]"])
+	}
+	if final["violation"] != "" {
+		t.Errorf("violation flag: %s", final["violation"])
+	}
+}

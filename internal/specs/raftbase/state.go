@@ -1,0 +1,528 @@
+// Package raftbase is the specification engine shared by the Raft-family
+// system specifications (gosyncobj, craft, redisraft, daosraft, asyncraft,
+// xraft, xraftkv). Each system instantiates it with a Profile selecting the
+// system's protocol dialect (reply formulas, optimistic next-index advance,
+// PreVote, log compaction, KV operations) and its bugdb defect set; the
+// resulting machine mirrors the corresponding implementation in
+// internal/systems handler-for-handler, which is what conformance checking
+// (§3.2) demands of a SandTable specification: it describes the actual,
+// potentially buggy implementation, not the idealised protocol.
+//
+// The network sub-state reimplements the paper's reusable TCP/UDP network
+// specification modules: per-ordered-pair FIFO channels under TCP semantics
+// (with partitions as the only failure), and indexed buffers with loss,
+// duplication, and out-of-order delivery under UDP semantics.
+package raftbase
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/sandtable-go/sandtable/internal/fp"
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// Role values (rendered identically by the implementations' Observe).
+const (
+	Follower = iota
+	PreCandidate
+	Candidate
+	Leader
+)
+
+func roleString(r int) string {
+	switch r {
+	case Leader:
+		return "leader"
+	case Candidate:
+		return "candidate"
+	case PreCandidate:
+		return "precandidate"
+	default:
+		return "follower"
+	}
+}
+
+// Entry is a replicated log entry (value-semantics; indexes are absolute and
+// implicit: the entry at slice position k of node i has absolute index
+// snapIndex[i]+k+1).
+type Entry struct {
+	Term  int
+	Value string
+}
+
+// Msg is the specification-level message. All kinds share one struct.
+type Msg struct {
+	Type      string // "rv", "rvr", "ae", "aer", "snap"
+	Term      int
+	LastIndex int  // rv
+	LastTerm  int  // rv
+	Pre       bool // rv/rvr: PreVote round
+	Granted   bool // rvr
+	PrevIndex int  // ae
+	PrevTerm  int  // ae
+	Entries   []Entry
+	Commit    int  // ae
+	Flag      bool // aer: success
+	NextIndex int  // aer: follower hint
+	Retry     bool // ae: sent as a retry after a rejection (craft)
+	SnapIndex int  // snap
+	SnapTerm  int  // snap
+}
+
+func (m *Msg) hash(h *fp.Hasher) {
+	h.WriteString(m.Type)
+	h.WriteInt(m.Term)
+	h.WriteInt(m.LastIndex)
+	h.WriteInt(m.LastTerm)
+	h.WriteBool(m.Pre)
+	h.WriteBool(m.Granted)
+	h.WriteInt(m.PrevIndex)
+	h.WriteInt(m.PrevTerm)
+	h.WriteInt(len(m.Entries))
+	for _, e := range m.Entries {
+		h.WriteInt(e.Term)
+		h.WriteString(e.Value)
+	}
+	h.WriteInt(m.Commit)
+	h.WriteBool(m.Flag)
+	h.WriteInt(m.NextIndex)
+	h.WriteBool(m.Retry)
+	h.WriteInt(m.SnapIndex)
+	h.WriteInt(m.SnapTerm)
+}
+
+// State is the full specification state: per-node protocol variables, the
+// network environment, the budget counters, ghost variables for history
+// properties, and the action-property violation flag.
+type State struct {
+	n int
+	// Feature flags copied from the machine options (not part of the
+	// fingerprint; they are constants of the model instance and only steer
+	// variable rendering).
+	snapshots bool
+	kv        bool
+
+	Role     []int
+	Term     []int
+	VotedFor []int
+	Log      [][]Entry
+	Commit   []int
+	SnapIdx  []int
+	SnapTerm []int
+
+	Votes    [][]bool // Votes[i][j]: j granted i's (real) vote this election
+	PreVotes [][]bool
+	Next     [][]int // leader replication state; nil rows when not leader
+	Match    [][]int
+
+	Up []bool
+
+	// Network: Chan[src][dst] is the ordered message buffer; Cut marks
+	// severed ordered pairs (crash or partition); Part marks active
+	// partition pairs (unordered, kept so restarts do not reconnect them).
+	Chan [][][]Msg
+	Cut  [][]bool
+	Part [][]bool
+
+	// Ghost: the globally committed log prefix, extended whenever any
+	// node's commit index advances past its length. Detects inconsistent
+	// committed logs (CRaft#2) and durability loss (AsyncRaft#2), and is
+	// the linearizability reference for KV reads.
+	Committed []Entry
+
+	// Ghost marker: set when a snapshot installation overwrote a
+	// conflicting local log — the exact situation CRaft#3's implementation
+	// incorrectly rejects; goal-directed conformance uses it to steer a
+	// trace into the divergent step.
+	SnapConflictInstall bool
+
+	// KV ghost (xraftkv): result of the most recent read, for the
+	// linearizability invariant.
+	LastReadNode int
+	LastReadKey  string
+	LastReadVal  string
+	LastReadWant string
+	LastReadBad  bool
+
+	Counters spec.Counters
+	Viol     spec.Violation
+}
+
+func newState(n int) *State {
+	s := &State{n: n}
+	s.Role = make([]int, n)
+	s.Term = make([]int, n)
+	s.VotedFor = make([]int, n)
+	for i := range s.VotedFor {
+		s.VotedFor[i] = -1
+	}
+	s.Log = make([][]Entry, n)
+	s.Commit = make([]int, n)
+	s.SnapIdx = make([]int, n)
+	s.SnapTerm = make([]int, n)
+	s.Votes = make([][]bool, n)
+	s.PreVotes = make([][]bool, n)
+	s.Next = make([][]int, n)
+	s.Match = make([][]int, n)
+	s.Up = make([]bool, n)
+	for i := range s.Up {
+		s.Up[i] = true
+	}
+	s.Chan = make([][][]Msg, n)
+	s.Cut = make([][]bool, n)
+	s.Part = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		s.Chan[i] = make([][]Msg, n)
+		s.Cut[i] = make([]bool, n)
+		s.Part[i] = make([]bool, n)
+	}
+	return s
+}
+
+func (s *State) clone() *State {
+	c := &State{n: s.n, snapshots: s.snapshots, kv: s.kv}
+	c.Role = append([]int(nil), s.Role...)
+	c.Term = append([]int(nil), s.Term...)
+	c.VotedFor = append([]int(nil), s.VotedFor...)
+	c.Log = make([][]Entry, s.n)
+	for i := range s.Log {
+		c.Log[i] = append([]Entry(nil), s.Log[i]...)
+	}
+	c.Commit = append([]int(nil), s.Commit...)
+	c.SnapIdx = append([]int(nil), s.SnapIdx...)
+	c.SnapTerm = append([]int(nil), s.SnapTerm...)
+	c.Votes = cloneBoolMatrix(s.Votes)
+	c.PreVotes = cloneBoolMatrix(s.PreVotes)
+	c.Next = cloneIntMatrix(s.Next)
+	c.Match = cloneIntMatrix(s.Match)
+	c.Up = append([]bool(nil), s.Up...)
+	c.Chan = make([][][]Msg, s.n)
+	c.Cut = make([][]bool, s.n)
+	c.Part = make([][]bool, s.n)
+	for i := 0; i < s.n; i++ {
+		c.Chan[i] = make([][]Msg, s.n)
+		for j := 0; j < s.n; j++ {
+			c.Chan[i][j] = append([]Msg(nil), s.Chan[i][j]...)
+		}
+		c.Cut[i] = append([]bool(nil), s.Cut[i]...)
+		c.Part[i] = append([]bool(nil), s.Part[i]...)
+	}
+	c.Committed = append([]Entry(nil), s.Committed...)
+	c.SnapConflictInstall = s.SnapConflictInstall
+	c.LastReadNode = s.LastReadNode
+	c.LastReadKey = s.LastReadKey
+	c.LastReadVal = s.LastReadVal
+	c.LastReadWant = s.LastReadWant
+	c.LastReadBad = s.LastReadBad
+	c.Counters = s.Counters
+	c.Viol = s.Viol
+	return c
+}
+
+func cloneBoolMatrix(m [][]bool) [][]bool {
+	c := make([][]bool, len(m))
+	for i := range m {
+		if m[i] != nil {
+			c[i] = append([]bool(nil), m[i]...)
+		}
+	}
+	return c
+}
+
+func cloneIntMatrix(m [][]int) [][]int {
+	c := make([][]int, len(m))
+	for i := range m {
+		if m[i] != nil {
+			c[i] = append([]int(nil), m[i]...)
+		}
+	}
+	return c
+}
+
+// Fingerprint implements spec.State.
+func (s *State) Fingerprint() uint64 {
+	h := fp.New()
+	h.WriteInts(s.Role)
+	h.WriteInts(s.Term)
+	h.WriteInts(s.VotedFor)
+	for i := range s.Log {
+		h.Sep()
+		h.WriteInt(len(s.Log[i]))
+		for _, e := range s.Log[i] {
+			h.WriteInt(e.Term)
+			h.WriteString(e.Value)
+		}
+	}
+	h.WriteInts(s.Commit)
+	h.WriteInts(s.SnapIdx)
+	h.WriteInts(s.SnapTerm)
+	hashBoolMatrix(h, s.Votes)
+	hashBoolMatrix(h, s.PreVotes)
+	hashIntMatrix(h, s.Next)
+	hashIntMatrix(h, s.Match)
+	h.Sep()
+	for _, u := range s.Up {
+		h.WriteBool(u)
+	}
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			h.Sep()
+			h.WriteInt(len(s.Chan[i][j]))
+			for k := range s.Chan[i][j] {
+				s.Chan[i][j][k].hash(h)
+			}
+			h.WriteBool(s.Cut[i][j])
+			h.WriteBool(s.Part[i][j])
+		}
+	}
+	h.Sep()
+	h.WriteInt(len(s.Committed))
+	for _, e := range s.Committed {
+		h.WriteInt(e.Term)
+		h.WriteString(e.Value)
+	}
+	h.WriteBool(s.SnapConflictInstall)
+	h.WriteInt(s.LastReadNode)
+	h.WriteString(s.LastReadKey)
+	h.WriteString(s.LastReadVal)
+	h.WriteString(s.LastReadWant)
+	h.WriteBool(s.LastReadBad)
+	s.Counters.Hash(h)
+	s.Viol.Hash(h)
+	return h.Sum()
+}
+
+func hashBoolMatrix(h *fp.Hasher, m [][]bool) {
+	h.Sep()
+	for i := range m {
+		h.WriteInt(len(m[i]))
+		for _, b := range m[i] {
+			h.WriteBool(b)
+		}
+	}
+}
+
+func hashIntMatrix(h *fp.Hasher, m [][]int) {
+	h.Sep()
+	for i := range m {
+		h.WriteInts(m[i])
+	}
+}
+
+// Vars implements spec.State; the rendering matches the implementations'
+// Observe output and the engine's network variables so conformance can
+// compare them key by key.
+func (s *State) Vars() map[string]string {
+	m := make(map[string]string, 8*s.n)
+	for i := 0; i < s.n; i++ {
+		if !s.Up[i] {
+			m[fmt.Sprintf("status[%d]", i)] = "crashed"
+			continue
+		}
+		m[fmt.Sprintf("status[%d]", i)] = "up"
+		m[fmt.Sprintf("role[%d]", i)] = roleString(s.Role[i])
+		m[fmt.Sprintf("term[%d]", i)] = strconv.Itoa(s.Term[i])
+		m[fmt.Sprintf("votedFor[%d]", i)] = strconv.Itoa(s.VotedFor[i])
+		m[fmt.Sprintf("log[%d]", i)] = formatLog(s.Log[i])
+		m[fmt.Sprintf("commit[%d]", i)] = strconv.Itoa(s.Commit[i])
+		if s.snapshots {
+			m[fmt.Sprintf("snapshot[%d]", i)] = fmt.Sprintf("%d@%d", s.SnapIdx[i], s.SnapTerm[i])
+		}
+		if s.Role[i] == Leader {
+			m[fmt.Sprintf("next[%d]", i)] = formatPeerInts(s.Next[i], i)
+			m[fmt.Sprintf("match[%d]", i)] = formatPeerInts(s.Match[i], i)
+		} else {
+			m[fmt.Sprintf("next[%d]", i)] = "-"
+			m[fmt.Sprintf("match[%d]", i)] = "-"
+		}
+		if s.Role[i] == Candidate {
+			m[fmt.Sprintf("votes[%d]", i)] = formatVoteSet(s.Votes[i])
+		} else {
+			m[fmt.Sprintf("votes[%d]", i)] = "-"
+		}
+	}
+	for src := 0; src < s.n; src++ {
+		for dst := 0; dst < s.n; dst++ {
+			if src == dst {
+				continue
+			}
+			m[fmt.Sprintf("net[%d->%d]", src, dst)] = strconv.Itoa(len(s.Chan[src][dst]))
+		}
+	}
+	if s.kv && s.LastReadKey != "" && s.Up[s.LastReadNode] {
+		m[fmt.Sprintf("lastRead[%d]", s.LastReadNode)] = s.LastReadKey + "=" + s.LastReadVal
+	}
+	s.Counters.Vars(m)
+	m["violation"] = s.Viol.Flag
+	return m
+}
+
+func formatLog(log []Entry) string {
+	if len(log) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(log))
+	for i, e := range log {
+		parts[i] = fmt.Sprintf("%d:%s", e.Term, e.Value)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func formatPeerInts(vals []int, self int) string {
+	parts := make([]string, 0, len(vals))
+	for i, v := range vals {
+		if i == self {
+			parts = append(parts, "_")
+			continue
+		}
+		parts = append(parts, strconv.Itoa(v))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func formatVoteSet(votes []bool) string {
+	var ids []int
+	for i, v := range votes {
+		if v {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Log helpers (absolute indexing, snapshot-aware).
+
+func (s *State) lastIndex(i int) int { return s.SnapIdx[i] + len(s.Log[i]) }
+
+func (s *State) logTerm(i, abs int) int {
+	switch {
+	case abs == s.SnapIdx[i]:
+		return s.SnapTerm[i]
+	case abs > s.SnapIdx[i] && abs <= s.lastIndex(i):
+		return s.Log[i][abs-s.SnapIdx[i]-1].Term
+	default:
+		return 0
+	}
+}
+
+func (s *State) entryAt(i, abs int) (Entry, bool) {
+	if abs > s.SnapIdx[i] && abs <= s.lastIndex(i) {
+		return s.Log[i][abs-s.SnapIdx[i]-1], true
+	}
+	return Entry{}, false
+}
+
+// entriesFrom copies the suffix of node i's log starting at absolute index
+// from (entries below the snapshot boundary are unavailable).
+func (s *State) entriesFrom(i, from int) []Entry {
+	if from <= s.SnapIdx[i] {
+		from = s.SnapIdx[i] + 1
+	}
+	if from > s.lastIndex(i) {
+		return nil
+	}
+	return append([]Entry(nil), s.Log[i][from-s.SnapIdx[i]-1:]...)
+}
+
+// truncateTo cuts node i's log so lastIndex becomes abs.
+func (s *State) truncateTo(i, abs int) {
+	if abs < s.SnapIdx[i] {
+		abs = s.SnapIdx[i]
+	}
+	s.Log[i] = s.Log[i][:abs-s.SnapIdx[i]]
+}
+
+func countVotes(votes []bool) int {
+	n := 0
+	for _, v := range votes {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Permute returns the state with node identities permuted (symmetry
+// reduction support).
+func (s *State) permute(perm []int) *State {
+	c := newState(s.n)
+	c.snapshots = s.snapshots
+	c.kv = s.kv
+	for i := 0; i < s.n; i++ {
+		pi := perm[i]
+		c.Role[pi] = s.Role[i]
+		c.Term[pi] = s.Term[i]
+		if s.VotedFor[i] >= 0 {
+			c.VotedFor[pi] = perm[s.VotedFor[i]]
+		} else {
+			c.VotedFor[pi] = -1
+		}
+		c.Log[pi] = append([]Entry(nil), s.Log[i]...)
+		c.Commit[pi] = s.Commit[i]
+		c.SnapIdx[pi] = s.SnapIdx[i]
+		c.SnapTerm[pi] = s.SnapTerm[i]
+		c.Up[pi] = s.Up[i]
+		if s.Votes[i] != nil {
+			c.Votes[pi] = permuteBools(s.Votes[i], perm)
+		} else {
+			c.Votes[pi] = nil
+		}
+		if s.PreVotes[i] != nil {
+			c.PreVotes[pi] = permuteBools(s.PreVotes[i], perm)
+		} else {
+			c.PreVotes[pi] = nil
+		}
+		if s.Next[i] != nil {
+			c.Next[pi] = permuteInts(s.Next[i], perm)
+		} else {
+			c.Next[pi] = nil
+		}
+		if s.Match[i] != nil {
+			c.Match[pi] = permuteInts(s.Match[i], perm)
+		} else {
+			c.Match[pi] = nil
+		}
+		for j := 0; j < s.n; j++ {
+			if i == j {
+				continue
+			}
+			c.Chan[pi][perm[j]] = append([]Msg(nil), s.Chan[i][j]...)
+			c.Cut[pi][perm[j]] = s.Cut[i][j]
+			c.Part[pi][perm[j]] = s.Part[i][j]
+		}
+	}
+	c.Committed = append([]Entry(nil), s.Committed...)
+	c.SnapConflictInstall = s.SnapConflictInstall
+	c.LastReadNode = perm[s.LastReadNode]
+	c.LastReadKey = s.LastReadKey
+	c.LastReadVal = s.LastReadVal
+	c.LastReadWant = s.LastReadWant
+	c.LastReadBad = s.LastReadBad
+	c.Counters = s.Counters
+	c.Viol = s.Viol
+	return c
+}
+
+func permuteBools(v []bool, perm []int) []bool {
+	out := make([]bool, len(v))
+	for i, b := range v {
+		out[perm[i]] = b
+	}
+	return out
+}
+
+func permuteInts(v []int, perm []int) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[perm[i]] = x
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package toy provides small, exactly-analysable specifications used to test
+// the explorer and to demo the workflow in examples/quickstart.
+//
+// LostUpdate models the classic read-modify-write race: n processes each
+// increment a shared counter non-atomically (read into a local register,
+// then write register+1 back). The safety property — when every process has
+// finished, the counter equals n — is violated whenever two reads interleave
+// before the corresponding writes. The model is fully symmetric in the
+// processes, has a small exactly-countable state space, and a minimal
+// counterexample of depth 4, which makes it ideal for asserting explorer
+// behaviour precisely.
+package toy
+
+import (
+	"fmt"
+
+	"github.com/sandtable-go/sandtable/internal/fp"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/trace"
+)
+
+// pc values for each process.
+const (
+	pcIdle = iota // has not read yet
+	pcRead        // holds the old counter value in its register
+	pcDone        // has written back
+)
+
+// LostUpdateState is the toy machine's state.
+type LostUpdateState struct {
+	Mem   int
+	Local []int
+	PC    []int
+}
+
+// Fingerprint implements spec.State.
+func (s *LostUpdateState) Fingerprint() uint64 {
+	h := fp.New()
+	h.WriteInt(s.Mem)
+	h.WriteInts(s.Local)
+	h.WriteInts(s.PC)
+	return h.Sum()
+}
+
+// Vars implements spec.State.
+func (s *LostUpdateState) Vars() map[string]string {
+	m := map[string]string{"mem": fmt.Sprint(s.Mem)}
+	for i := range s.PC {
+		m[fmt.Sprintf("pc[%d]", i)] = fmt.Sprint(s.PC[i])
+		m[fmt.Sprintf("local[%d]", i)] = fmt.Sprint(s.Local[i])
+	}
+	return m
+}
+
+func (s *LostUpdateState) clone() *LostUpdateState {
+	c := &LostUpdateState{Mem: s.Mem, Local: append([]int(nil), s.Local...), PC: append([]int(nil), s.PC...)}
+	return c
+}
+
+// LostUpdate is the machine. Atomic=true fixes the race (read and write
+// become one action), which makes the model a useful fix-validation demo.
+type LostUpdate struct {
+	N      int
+	Atomic bool
+}
+
+// Name implements spec.Machine.
+func (m *LostUpdate) Name() string { return "toy-lostupdate" }
+
+// Init implements spec.Machine.
+func (m *LostUpdate) Init() []spec.State {
+	return []spec.State{&LostUpdateState{Local: make([]int, m.N), PC: make([]int, m.N)}}
+}
+
+// Next implements spec.Machine.
+func (m *LostUpdate) Next(st spec.State) []spec.Succ {
+	s := st.(*LostUpdateState)
+	var out []spec.Succ
+	for i := 0; i < m.N; i++ {
+		switch s.PC[i] {
+		case pcIdle:
+			n := s.clone()
+			if m.Atomic {
+				n.Mem++
+				n.PC[i] = pcDone
+				out = append(out, succ("IncAtomic", i, n))
+			} else {
+				n.Local[i] = s.Mem
+				n.PC[i] = pcRead
+				out = append(out, succ("Read", i, n))
+			}
+		case pcRead:
+			n := s.clone()
+			n.Mem = s.Local[i] + 1
+			n.Local[i] = 0 // register is dead after the write; normalise it
+			n.PC[i] = pcDone
+			out = append(out, succ("Write", i, n))
+		}
+	}
+	return out
+}
+
+func succ(action string, node int, s spec.State) spec.Succ {
+	return spec.Succ{
+		Event: trace.Event{Type: trace.EvInternal, Action: action, Node: node},
+		State: s,
+	}
+}
+
+// Invariants implements spec.Machine: when every process is done, the
+// counter must equal N.
+func (m *LostUpdate) Invariants() []spec.Invariant {
+	return []spec.Invariant{{
+		Name: "NoLostUpdate",
+		Check: func(st spec.State) error {
+			s := st.(*LostUpdateState)
+			for _, pc := range s.PC {
+				if pc != pcDone {
+					return nil
+				}
+			}
+			if s.Mem != m.N {
+				return fmt.Errorf("all processes done but mem = %d, want %d", s.Mem, m.N)
+			}
+			return nil
+		},
+	}}
+}
+
+// NumNodes implements spec.Symmetric.
+func (m *LostUpdate) NumNodes() int { return m.N }
+
+// Permute implements spec.Symmetric.
+func (m *LostUpdate) Permute(st spec.State, perm []int) spec.State {
+	s := st.(*LostUpdateState)
+	n := &LostUpdateState{Mem: s.Mem, Local: make([]int, m.N), PC: make([]int, m.N)}
+	for i := 0; i < m.N; i++ {
+		n.Local[perm[i]] = s.Local[i]
+		n.PC[perm[i]] = s.PC[i]
+	}
+	return n
+}

@@ -1,0 +1,436 @@
+// Package zabkeeper is the formal specification of the zabkeeper system
+// (the ZooKeeper analogue): fast leader election (FLE) with vote
+// notifications, a compressed discovery/synchronisation phase, and the Zab
+// broadcast phase (propose / ack / commit), over TCP semantics.
+//
+// Mirroring the paper's adaptation of the official ZooKeeper system spec
+// (§4.2), the specification compresses multi-threaded queue hand-offs into
+// atomic actions and replaces the message channels with the shared network
+// module semantics. The discovery and synchronisation phases are folded
+// into one FOLLOWERINFO → SYNC → ACK-NEWLEADER exchange carrying the full
+// leader history (a DIFF/SNAP collapsed to SNAP, documented in DESIGN.md).
+//
+// The ZabKeeper#1 defect (ZOOKEEPER-1419 analogue, "votes are not total
+// ordered") is a broken vote comparator that loses antisymmetry when vote
+// zxids cross epochs; the VoteTotalOrder invariant detects it.
+package zabkeeper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/sandtable-go/sandtable/internal/fp"
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// Server states.
+const (
+	Looking = iota
+	Following
+	Leading
+)
+
+func stateString(s int) string {
+	switch s {
+	case Leading:
+		return "leading"
+	case Following:
+		return "following"
+	default:
+		return "looking"
+	}
+}
+
+// Txn is one replicated transaction; its zxid is (Epoch, Counter).
+type Txn struct {
+	Epoch   int
+	Counter int
+	Value   string
+}
+
+// Vote is an FLE vote: the proposed leader and that leader's last zxid.
+type Vote struct {
+	Leader  int
+	Epoch   int
+	Counter int
+}
+
+func (v Vote) String() string {
+	return fmt.Sprintf("%d@(%d,%d)", v.Leader, v.Epoch, v.Counter)
+}
+
+// Msg is the specification-level message.
+type Msg struct {
+	Type string // "notif", "finfo", "sync", "ackld", "prop", "ack", "commit"
+	// notif
+	Round int
+	State int
+	Vote  Vote
+	// finfo / ackld
+	Epoch   int
+	Counter int
+	// sync
+	NewEpoch  int
+	History   []Txn
+	Committed int
+	// prop
+	Value string
+	// commit
+	Index int
+}
+
+func (m *Msg) hash(h *fp.Hasher) {
+	h.WriteString(m.Type)
+	h.WriteInt(m.Round)
+	h.WriteInt(m.State)
+	h.WriteInt(m.Vote.Leader)
+	h.WriteInt(m.Vote.Epoch)
+	h.WriteInt(m.Vote.Counter)
+	h.WriteInt(m.Epoch)
+	h.WriteInt(m.Counter)
+	h.WriteInt(m.NewEpoch)
+	h.WriteInt(len(m.History))
+	for _, t := range m.History {
+		h.WriteInt(t.Epoch)
+		h.WriteInt(t.Counter)
+		h.WriteString(t.Value)
+	}
+	h.WriteInt(m.Committed)
+	h.WriteString(m.Value)
+	h.WriteInt(m.Index)
+}
+
+// State is the zabkeeper specification state.
+type State struct {
+	n int
+
+	ZState  []int
+	Round   []int
+	Vote    []Vote
+	Recv    [][]Vote // received votes this round; Leader == -1 marks absent
+	Epoch   []int    // current (accepted) epoch, durable
+	History [][]Txn  // durable
+	Commit  []int    // volatile committed prefix length
+
+	LeaderID  []int
+	PendEpoch []int // leader: epoch being established
+	Synced    [][]bool
+	Acked     [][]int
+	Activated []bool
+	Counter   []int // leader: next proposal counter
+
+	Up []bool
+
+	Chan [][][]Msg
+	Cut  [][]bool
+	Part [][]bool
+
+	// Ghost committed transaction sequence (cluster-wide prefix).
+	Committed []Txn
+
+	Counters spec.Counters
+	Viol     spec.Violation
+}
+
+func newState(n int) *State {
+	s := &State{n: n}
+	s.ZState = make([]int, n)
+	s.Round = make([]int, n)
+	s.Vote = make([]Vote, n)
+	s.Recv = make([][]Vote, n)
+	s.Epoch = make([]int, n)
+	s.History = make([][]Txn, n)
+	s.Commit = make([]int, n)
+	s.LeaderID = make([]int, n)
+	s.PendEpoch = make([]int, n)
+	s.Synced = make([][]bool, n)
+	s.Acked = make([][]int, n)
+	s.Activated = make([]bool, n)
+	s.Counter = make([]int, n)
+	s.Up = make([]bool, n)
+	s.Chan = make([][][]Msg, n)
+	s.Cut = make([][]bool, n)
+	s.Part = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		s.Vote[i] = Vote{Leader: i}
+		s.Recv[i] = emptyRecv(n)
+		s.Recv[i][i] = s.Vote[i]
+		s.LeaderID[i] = -1
+		s.Up[i] = true
+		s.Chan[i] = make([][]Msg, n)
+		s.Cut[i] = make([]bool, n)
+		s.Part[i] = make([]bool, n)
+	}
+	return s
+}
+
+func emptyRecv(n int) []Vote {
+	r := make([]Vote, n)
+	for i := range r {
+		r[i] = Vote{Leader: -1}
+	}
+	return r
+}
+
+func (s *State) clone() *State {
+	c := &State{n: s.n}
+	c.ZState = append([]int(nil), s.ZState...)
+	c.Round = append([]int(nil), s.Round...)
+	c.Vote = append([]Vote(nil), s.Vote...)
+	c.Recv = make([][]Vote, s.n)
+	c.History = make([][]Txn, s.n)
+	c.Synced = make([][]bool, s.n)
+	c.Acked = make([][]int, s.n)
+	c.Chan = make([][][]Msg, s.n)
+	c.Cut = make([][]bool, s.n)
+	c.Part = make([][]bool, s.n)
+	for i := 0; i < s.n; i++ {
+		c.Recv[i] = append([]Vote(nil), s.Recv[i]...)
+		c.History[i] = append([]Txn(nil), s.History[i]...)
+		if s.Synced[i] != nil {
+			c.Synced[i] = append([]bool(nil), s.Synced[i]...)
+		}
+		if s.Acked[i] != nil {
+			c.Acked[i] = append([]int(nil), s.Acked[i]...)
+		}
+		c.Chan[i] = make([][]Msg, s.n)
+		for j := 0; j < s.n; j++ {
+			c.Chan[i][j] = append([]Msg(nil), s.Chan[i][j]...)
+		}
+		c.Cut[i] = append([]bool(nil), s.Cut[i]...)
+		c.Part[i] = append([]bool(nil), s.Part[i]...)
+	}
+	c.Epoch = append([]int(nil), s.Epoch...)
+	c.Commit = append([]int(nil), s.Commit...)
+	c.LeaderID = append([]int(nil), s.LeaderID...)
+	c.PendEpoch = append([]int(nil), s.PendEpoch...)
+	c.Activated = append([]bool(nil), s.Activated...)
+	c.Counter = append([]int(nil), s.Counter...)
+	c.Up = append([]bool(nil), s.Up...)
+	c.Committed = append([]Txn(nil), s.Committed...)
+	c.Counters = s.Counters
+	c.Viol = s.Viol
+	return c
+}
+
+// Fingerprint implements spec.State.
+func (s *State) Fingerprint() uint64 {
+	h := fp.New()
+	h.WriteInts(s.ZState)
+	h.WriteInts(s.Round)
+	for _, v := range s.Vote {
+		h.WriteInt(v.Leader)
+		h.WriteInt(v.Epoch)
+		h.WriteInt(v.Counter)
+	}
+	for i := range s.Recv {
+		h.Sep()
+		for _, v := range s.Recv[i] {
+			h.WriteInt(v.Leader)
+			h.WriteInt(v.Epoch)
+			h.WriteInt(v.Counter)
+		}
+	}
+	h.WriteInts(s.Epoch)
+	for i := range s.History {
+		h.Sep()
+		h.WriteInt(len(s.History[i]))
+		for _, t := range s.History[i] {
+			h.WriteInt(t.Epoch)
+			h.WriteInt(t.Counter)
+			h.WriteString(t.Value)
+		}
+	}
+	h.WriteInts(s.Commit)
+	h.WriteInts(s.LeaderID)
+	h.WriteInts(s.PendEpoch)
+	for i := range s.Synced {
+		h.Sep()
+		h.WriteInt(len(s.Synced[i]))
+		for _, b := range s.Synced[i] {
+			h.WriteBool(b)
+		}
+		h.WriteInts(s.Acked[i])
+	}
+	h.Sep()
+	for i := range s.Activated {
+		h.WriteBool(s.Activated[i])
+	}
+	h.WriteInts(s.Counter)
+	h.Sep()
+	for _, u := range s.Up {
+		h.WriteBool(u)
+	}
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			h.Sep()
+			h.WriteInt(len(s.Chan[i][j]))
+			for k := range s.Chan[i][j] {
+				s.Chan[i][j][k].hash(h)
+			}
+			h.WriteBool(s.Cut[i][j])
+			h.WriteBool(s.Part[i][j])
+		}
+	}
+	h.Sep()
+	h.WriteInt(len(s.Committed))
+	for _, t := range s.Committed {
+		h.WriteInt(t.Epoch)
+		h.WriteInt(t.Counter)
+		h.WriteString(t.Value)
+	}
+	s.Counters.Hash(h)
+	s.Viol.Hash(h)
+	return h.Sum()
+}
+
+// lastZxid returns node i's last logged zxid.
+func (s *State) lastZxid(i int) (epoch, counter int) {
+	if len(s.History[i]) == 0 {
+		return 0, 0
+	}
+	t := s.History[i][len(s.History[i])-1]
+	return t.Epoch, t.Counter
+}
+
+// Vars implements spec.State; rendering matches the implementation's
+// Observe output.
+func (s *State) Vars() map[string]string {
+	m := make(map[string]string, 10*s.n)
+	for i := 0; i < s.n; i++ {
+		if !s.Up[i] {
+			m[fmt.Sprintf("status[%d]", i)] = "crashed"
+			continue
+		}
+		m[fmt.Sprintf("status[%d]", i)] = "up"
+		m[fmt.Sprintf("state[%d]", i)] = stateString(s.ZState[i])
+		m[fmt.Sprintf("round[%d]", i)] = strconv.Itoa(s.Round[i])
+		m[fmt.Sprintf("vote[%d]", i)] = s.Vote[i].String()
+		m[fmt.Sprintf("epoch[%d]", i)] = strconv.Itoa(s.Epoch[i])
+		m[fmt.Sprintf("history[%d]", i)] = formatHistory(s.History[i])
+		m[fmt.Sprintf("committed[%d]", i)] = strconv.Itoa(s.Commit[i])
+		m[fmt.Sprintf("leader[%d]", i)] = strconv.Itoa(s.LeaderID[i])
+		if s.ZState[i] == Leading {
+			m[fmt.Sprintf("synced[%d]", i)] = formatBoolSet(s.Synced[i])
+			m[fmt.Sprintf("acked[%d]", i)] = formatInts(s.Acked[i], i)
+		} else {
+			m[fmt.Sprintf("synced[%d]", i)] = "-"
+			m[fmt.Sprintf("acked[%d]", i)] = "-"
+		}
+	}
+	for src := 0; src < s.n; src++ {
+		for dst := 0; dst < s.n; dst++ {
+			if src == dst {
+				continue
+			}
+			m[fmt.Sprintf("net[%d->%d]", src, dst)] = strconv.Itoa(len(s.Chan[src][dst]))
+		}
+	}
+	s.Counters.Vars(m)
+	m["violation"] = s.Viol.Flag
+	return m
+}
+
+func formatHistory(h []Txn) string {
+	if len(h) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(h))
+	for i, t := range h {
+		parts[i] = fmt.Sprintf("%d.%d:%s", t.Epoch, t.Counter, t.Value)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func formatBoolSet(b []bool) string {
+	var parts []string
+	for i, v := range b {
+		if v {
+			parts = append(parts, strconv.Itoa(i))
+		}
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+func formatInts(vals []int, self int) string {
+	parts := make([]string, 0, len(vals))
+	for i, v := range vals {
+		if i == self {
+			parts = append(parts, "_")
+			continue
+		}
+		parts = append(parts, strconv.Itoa(v))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// permute returns the node-permuted state (symmetry reduction).
+func (s *State) permute(perm []int) *State {
+	c := newState(s.n)
+	mapID := func(id int) int {
+		if id < 0 {
+			return id
+		}
+		return perm[id]
+	}
+	mapVote := func(v Vote) Vote {
+		v.Leader = mapID(v.Leader)
+		return v
+	}
+	for i := 0; i < s.n; i++ {
+		pi := perm[i]
+		c.ZState[pi] = s.ZState[i]
+		c.Round[pi] = s.Round[i]
+		c.Vote[pi] = mapVote(s.Vote[i])
+		for j := 0; j < s.n; j++ {
+			c.Recv[pi][perm[j]] = mapVote(s.Recv[i][j])
+		}
+		c.Epoch[pi] = s.Epoch[i]
+		c.History[pi] = append([]Txn(nil), s.History[i]...)
+		c.Commit[pi] = s.Commit[i]
+		c.LeaderID[pi] = mapID(s.LeaderID[i])
+		c.PendEpoch[pi] = s.PendEpoch[i]
+		if s.Synced[i] != nil {
+			c.Synced[pi] = make([]bool, s.n)
+			for j := 0; j < s.n; j++ {
+				c.Synced[pi][perm[j]] = s.Synced[i][j]
+			}
+		} else {
+			c.Synced[pi] = nil
+		}
+		if s.Acked[i] != nil {
+			c.Acked[pi] = make([]int, s.n)
+			for j := 0; j < s.n; j++ {
+				c.Acked[pi][perm[j]] = s.Acked[i][j]
+			}
+		} else {
+			c.Acked[pi] = nil
+		}
+		c.Activated[pi] = s.Activated[i]
+		c.Counter[pi] = s.Counter[i]
+		c.Up[pi] = s.Up[i]
+		for j := 0; j < s.n; j++ {
+			if i == j {
+				continue
+			}
+			c.Chan[pi][perm[j]] = permuteMsgs(s.Chan[i][j], perm)
+			c.Cut[pi][perm[j]] = s.Cut[i][j]
+			c.Part[pi][perm[j]] = s.Part[i][j]
+		}
+	}
+	c.Committed = append([]Txn(nil), s.Committed...)
+	c.Counters = s.Counters
+	c.Viol = s.Viol
+	return c
+}
+
+func permuteMsgs(msgs []Msg, perm []int) []Msg {
+	out := append([]Msg(nil), msgs...)
+	for k := range out {
+		if out[k].Vote.Leader >= 0 {
+			out[k].Vote.Leader = perm[out[k].Vote.Leader]
+		}
+	}
+	return out
+}

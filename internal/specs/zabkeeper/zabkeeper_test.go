@@ -1,0 +1,160 @@
+package zabkeeper_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/explorer"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/specs/zabkeeper"
+)
+
+func cfg() spec.Config {
+	return spec.Config{Name: "n3w1", Nodes: 3, Workload: []string{"v1"}}
+}
+
+func electionBudget() spec.Budget {
+	return spec.Budget{Name: "el", MaxTimeouts: 2, MaxBuffer: 3}
+}
+
+func TestSupersedesIsTotalOrderWhenFixed(t *testing.T) {
+	m := zabkeeper.New(cfg(), electionBudget(), bugdb.NoBugs())
+	votes := []zabkeeper.Vote{}
+	for leader := 0; leader < 3; leader++ {
+		for e := 0; e < 3; e++ {
+			for c := 0; c < 3; c++ {
+				votes = append(votes, zabkeeper.Vote{Leader: leader, Epoch: e, Counter: c})
+			}
+		}
+	}
+	for _, a := range votes {
+		for _, b := range votes {
+			if a == b {
+				continue
+			}
+			if m.Supersedes(a, b) == m.Supersedes(b, a) {
+				t.Fatalf("fixed comparator not total: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestBuggySupersedesLosesAntisymmetry(t *testing.T) {
+	m := zabkeeper.New(cfg(), electionBudget(), bugdb.NoBugs().With(bugdb.ZabVoteOrder))
+	a := zabkeeper.Vote{Leader: 0, Epoch: 2, Counter: 1}
+	b := zabkeeper.Vote{Leader: 1, Epoch: 1, Counter: 2}
+	if !m.Supersedes(a, b) || !m.Supersedes(b, a) {
+		t.Fatal("the buggy comparator should order both directions for crossing zxids")
+	}
+}
+
+func TestLeaderElectableAndActivates(t *testing.T) {
+	m := zabkeeper.New(cfg(), electionBudget(), bugdb.NoBugs())
+	opts := explorer.DefaultOptions()
+	opts.MaxStates = 30000
+	opts.Goal = func(st spec.State) bool {
+		s := st.(*zabkeeper.State)
+		for i := range s.Activated {
+			if s.Activated[i] {
+				return true
+			}
+		}
+		return false
+	}
+	res := explorer.NewChecker(m, opts).Run()
+	if v := res.FirstViolation(); v != nil {
+		t.Fatalf("fixed zab violated %s: %v\n%s", v.Invariant, v.Err, v.Trace.Format(false))
+	}
+	if !res.GoalReached {
+		t.Fatalf("no activated leader reachable in %d states", res.DistinctStates)
+	}
+}
+
+func TestCommitReachableInFixedBuild(t *testing.T) {
+	b := spec.Budget{Name: "commit", MaxTimeouts: 1, MaxRequests: 1, MaxBuffer: 3}
+	m := zabkeeper.New(cfg(), b, bugdb.NoBugs())
+	opts := explorer.DefaultOptions()
+	opts.MaxStates = 50000
+	opts.Goal = func(st spec.State) bool {
+		s := st.(*zabkeeper.State)
+		for i := range s.Commit {
+			if s.Commit[i] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	res := explorer.NewChecker(m, opts).Run()
+	if v := res.FirstViolation(); v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	if !res.GoalReached {
+		t.Fatalf("no commit reachable in %d states", res.DistinctStates)
+	}
+}
+
+func TestPermuteRoundTripPreservesFingerprint(t *testing.T) {
+	m := zabkeeper.New(cfg(), spec.Budget{Name: "x", MaxTimeouts: 2, MaxRequests: 1, MaxCrashes: 1, MaxRestarts: 1, MaxBuffer: 3}, bugdb.AllBugs("zabkeeper"))
+	rng := rand.New(rand.NewSource(11))
+	cur := m.Init()[0]
+	perm := []int{2, 0, 1}
+	inv := []int{1, 2, 0}
+	for step := 0; step < 250; step++ {
+		fp := cur.Fingerprint()
+		round := m.Permute(m.Permute(cur, perm), inv)
+		if round.Fingerprint() != fp {
+			t.Fatalf("step %d: permute round trip changed fingerprint", step)
+		}
+		// Permuted states must render permuted variables consistently.
+		pv := m.Permute(cur, perm).Vars()
+		cv := cur.Vars()
+		if cv["state[0]"] != pv["state[2]"] {
+			t.Fatalf("step %d: permuted state[2]=%s, original state[0]=%s", step, pv["state[2]"], cv["state[0]"])
+		}
+		succs := m.Next(cur)
+		if len(succs) == 0 {
+			break
+		}
+		cur = succs[rng.Intn(len(succs))].State
+	}
+}
+
+func TestVoteOrderBugFoundByBFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute BFS")
+	}
+	t.Parallel()
+	b := spec.Budget{Name: "zab", MaxTimeouts: 2, MaxRequests: 3, MaxBuffer: 3}
+	m := zabkeeper.New(cfg(), b, bugdb.NoBugs().With(bugdb.ZabVoteOrder))
+	opts := explorer.DefaultOptions()
+	res := explorer.NewChecker(m, opts).Run()
+	v := res.FirstViolation()
+	if v == nil {
+		t.Fatalf("vote-order violation not found (%d states)", res.DistinctStates)
+	}
+	if v.Invariant != "VoteTotalOrder" {
+		t.Fatalf("violated %s (%v), want VoteTotalOrder", v.Invariant, v.Err)
+	}
+}
+
+func TestPermutedFingerprintMatchesReference(t *testing.T) {
+	m := zabkeeper.New(cfg(), spec.Budget{Name: "pf", MaxTimeouts: 2, MaxRequests: 2, MaxCrashes: 1, MaxRestarts: 1, MaxPartitions: 1, MaxBuffer: 3}, bugdb.AllBugs("zabkeeper"))
+	perms := spec.Permutations(3)
+	rng := rand.New(rand.NewSource(21))
+	cur := m.Init()[0]
+	for step := 0; step < 400; step++ {
+		for _, p := range perms {
+			want := m.Permute(cur, p).Fingerprint()
+			got := m.PermutedFingerprint(cur, p)
+			if got != want {
+				t.Fatalf("step %d perm %v: fast fingerprint %x != reference %x", step, p, got, want)
+			}
+		}
+		succs := m.Next(cur)
+		if len(succs) == 0 {
+			break
+		}
+		cur = succs[rng.Intn(len(succs))].State
+	}
+}

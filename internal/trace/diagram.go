@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders a trace as an ASCII space-time diagram in the style of the
+// paper's Figures 6 and 7: one column per node, message deliveries drawn as
+// arrows between columns, local events (timeouts, crashes, client requests)
+// annotated on the owning node's column.
+//
+// nodes is the number of node columns; labels optionally names them
+// (defaults to n0..nk). Each step occupies one row.
+func (t *Trace) Diagram(nodes int, labels []string) string {
+	const colWidth = 28
+	if labels == nil {
+		labels = make([]string, nodes)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("n%d", i)
+		}
+	}
+	var b strings.Builder
+	// Header row.
+	for i := 0; i < nodes; i++ {
+		b.WriteString(pad(labels[i], colWidth))
+	}
+	b.WriteByte('\n')
+	for i := 0; i < nodes; i++ {
+		b.WriteString(pad("|", colWidth))
+	}
+	b.WriteByte('\n')
+
+	for _, s := range t.Steps {
+		e := s.Event
+		switch e.Type {
+		case EvDeliver:
+			b.WriteString(arrowRow(e.Peer, e.Node, e.Action+annot(e), nodes, colWidth))
+		case EvDrop, EvDuplicate:
+			b.WriteString(arrowRow(e.Peer, e.Node, string(e.Type)+annot(e), nodes, colWidth))
+		case EvPartition, EvRecover:
+			label := "PARTITION"
+			if e.Type == EvRecover {
+				label = "HEAL"
+			}
+			b.WriteString(spanRow(e.Node, e.Peer, label, nodes, colWidth))
+		default:
+			b.WriteString(localRow(e.Node, e.String(), nodes, colWidth))
+		}
+	}
+	return b.String()
+}
+
+func annot(e Event) string {
+	if len(e.Detail) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(e.Detail))
+	for _, k := range sortedKeys(e.Detail) {
+		parts = append(parts, k+"="+e.Detail[k])
+	}
+	return " {" + strings.Join(parts, ",") + "}"
+}
+
+// arrowRow draws "|----label--->|" from column src to column dst.
+func arrowRow(src, dst int, label string, nodes, w int) string {
+	lo, hi := src, dst
+	right := true
+	if src > dst {
+		lo, hi = dst, src
+		right = false
+	}
+	var b strings.Builder
+	for i := 0; i < nodes; i++ {
+		switch {
+		case i < lo || i > hi:
+			b.WriteString(pad("|", w))
+		case i == lo:
+			span := (hi - lo) * w
+			b.WriteString(drawArrow(span, label, right))
+		case i == hi:
+			b.WriteString(pad("|", w))
+		default:
+			// Interior columns are covered by the arrow span drawn at lo.
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func drawArrow(span int, label string, right bool) string {
+	body := span - 2 // room for the endpoints' pipes
+	if body < len(label)+4 {
+		label = truncate(label, body-4)
+	}
+	dashes := body - len(label)
+	left := dashes / 2
+	rightN := dashes - left
+	var b strings.Builder
+	b.WriteByte('|')
+	if right {
+		b.WriteString(strings.Repeat("-", left))
+		b.WriteString(label)
+		b.WriteString(strings.Repeat("-", max(0, rightN-1)))
+		b.WriteByte('>')
+	} else {
+		b.WriteByte('<')
+		b.WriteString(strings.Repeat("-", max(0, left-1)))
+		b.WriteString(label)
+		b.WriteString(strings.Repeat("-", rightN))
+	}
+	b.WriteByte('|')
+	// Result is span characters wide; caller accounts for both endpoints.
+	return b.String()[:span]
+}
+
+func spanRow(a, b int, label string, nodes, w int) string {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	var s strings.Builder
+	for i := 0; i < nodes; i++ {
+		if i == lo {
+			span := (hi - lo) * w
+			text := "~~ " + label + " ~~"
+			s.WriteString(pad("|"+center(text, span-1), span))
+			continue
+		}
+		if i > lo && i <= hi {
+			continue
+		}
+		s.WriteString(pad("|", w))
+	}
+	s.WriteByte('\n')
+	return s.String()
+}
+
+func localRow(node int, label string, nodes, w int) string {
+	var b strings.Builder
+	for i := 0; i < nodes; i++ {
+		if i == node {
+			b.WriteString(pad("* "+truncate(label, w-3), w))
+		} else {
+			b.WriteString(pad("|", w))
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return truncate(s, w)
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+func truncate(s string, n int) string {
+	if n < 1 {
+		return ""
+	}
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "~"
+}

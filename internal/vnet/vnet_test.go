@@ -1,0 +1,187 @@
+package vnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTCPFIFOOrder(t *testing.T) {
+	n := New(3, TCP)
+	n.Send(0, 1, []byte("a"))
+	n.Send(0, 1, []byte("b"))
+	n.Send(0, 1, []byte("c"))
+	if n.Len(0, 1) != 3 {
+		t.Fatalf("buffered = %d, want 3", n.Len(0, 1))
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		f, err := n.Deliver(0, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(f.Payload) != want {
+			t.Errorf("delivered %q, want %q", f.Payload, want)
+		}
+	}
+}
+
+func TestTCPHeadOnly(t *testing.T) {
+	n := New(2, TCP)
+	n.Send(0, 1, []byte("a"))
+	n.Send(0, 1, []byte("b"))
+	if _, err := n.Deliver(0, 1, 1); err != ErrHeadOnly {
+		t.Errorf("non-head TCP delivery: err = %v, want ErrHeadOnly", err)
+	}
+}
+
+func TestTCPNoLossNoDupOps(t *testing.T) {
+	n := New(2, TCP)
+	n.Send(0, 1, []byte("a"))
+	if err := n.Drop(0, 1, 0); err == nil {
+		t.Error("drop should be rejected under TCP semantics")
+	}
+	if err := n.Duplicate(0, 1, 0); err == nil {
+		t.Error("duplicate should be rejected under TCP semantics")
+	}
+}
+
+func TestPartitionClearsAndBlocks(t *testing.T) {
+	n := New(3, TCP)
+	n.Send(0, 1, []byte("inflight"))
+	n.Partition(0, 1)
+	if n.Len(0, 1) != 0 {
+		t.Error("partition should clear in-flight buffers")
+	}
+	n.Send(0, 1, []byte("blocked"))
+	if n.Len(0, 1) != 0 {
+		t.Error("send across partition should be dropped")
+	}
+	if n.Connected(0, 1) || n.Connected(1, 0) {
+		t.Error("both directions should be severed")
+	}
+	// Unaffected pair still works.
+	n.Send(0, 2, []byte("ok"))
+	if n.Len(0, 2) != 1 {
+		t.Error("partition must not affect other pairs")
+	}
+	n.Heal(0, 1)
+	n.Send(0, 1, []byte("after"))
+	if n.Len(0, 1) != 1 {
+		t.Error("healed pair should carry traffic")
+	}
+	st := n.Stats()
+	if st.Dropped != 2 { // 1 cleared + 1 blocked send
+		t.Errorf("dropped = %d, want 2", st.Dropped)
+	}
+}
+
+func TestUDPOutOfOrderDropDuplicate(t *testing.T) {
+	n := New(2, UDP)
+	n.Send(0, 1, []byte("a"))
+	n.Send(0, 1, []byte("b"))
+	n.Send(0, 1, []byte("c"))
+
+	// Out-of-order: deliver index 1 ("b") first.
+	f, err := n.Deliver(0, 1, 1)
+	if err != nil || string(f.Payload) != "b" {
+		t.Fatalf("deliver idx 1: %v %q", err, f.Payload)
+	}
+	// Duplicate "a" (now index 0): buffer becomes a, c, a.
+	if err := n.Duplicate(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.Len(0, 1) != 3 {
+		t.Fatalf("buffered = %d, want 3", n.Len(0, 1))
+	}
+	// Drop "c" (index 1): buffer becomes a, a.
+	if err := n.Drop(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := []string{}
+	for n.Len(0, 1) > 0 {
+		f, err := n.Deliver(0, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(f.Payload))
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "a" {
+		t.Errorf("remaining = %v, want [a a]", got)
+	}
+	st := n.Stats()
+	if st.Duplicated != 1 || st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCrashNodeSeversEverything(t *testing.T) {
+	n := New(3, TCP)
+	n.Send(0, 1, []byte("x"))
+	n.Send(2, 1, []byte("y"))
+	n.Send(1, 2, []byte("z"))
+	n.CrashNode(1)
+	if n.Len(0, 1)+n.Len(2, 1)+n.Len(1, 2) != 0 {
+		t.Error("crash should clear all the node's channels")
+	}
+	n.Send(0, 1, []byte("gone"))
+	if n.Len(0, 1) != 0 {
+		t.Error("send to crashed node should be dropped")
+	}
+	// Restart reconnects, except pairs an active partition keeps severed.
+	n.RestartNode(1, func(a, b int) bool { return (a == 1 && b == 2) || (a == 2 && b == 1) })
+	if !n.Connected(0, 1) {
+		t.Error("restart should reconnect to node 0")
+	}
+	if n.Connected(1, 2) {
+		t.Error("restart must not reconnect across an active partition")
+	}
+}
+
+func TestDeliverErrors(t *testing.T) {
+	n := New(2, TCP)
+	if _, err := n.Deliver(0, 1, 0); err == nil {
+		t.Error("delivering from empty channel should fail")
+	}
+	if _, err := n.Peek(0, 1, 0); err == nil {
+		t.Error("peeking empty channel should fail")
+	}
+}
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	msgs := [][]byte{[]byte("hello"), []byte(""), []byte("worlds")}
+	var stream []byte
+	for _, m := range msgs {
+		stream = append(stream, Encode(m)...)
+	}
+	// Append a partial frame.
+	partial := Encode([]byte("tail"))[:5]
+	stream = append(stream, partial...)
+
+	payloads, rest := DecodeStream(stream)
+	if len(payloads) != len(msgs) {
+		t.Fatalf("decoded %d payloads, want %d", len(payloads), len(msgs))
+	}
+	for i := range msgs {
+		if !bytes.Equal(payloads[i], msgs[i]) {
+			t.Errorf("payload %d = %q, want %q", i, payloads[i], msgs[i])
+		}
+	}
+	if !bytes.Equal(rest, partial) {
+		t.Errorf("rest = %q, want the partial frame", rest)
+	}
+}
+
+func TestChannelsSortedBySeq(t *testing.T) {
+	n := New(3, TCP)
+	n.Send(0, 1, []byte("1"))
+	n.Send(1, 2, []byte("2"))
+	n.Send(0, 1, []byte("3"))
+	ch := n.Channels()
+	if len(ch) != 3 {
+		t.Fatalf("channels = %d frames, want 3", len(ch))
+	}
+	for i := 1; i < len(ch); i++ {
+		if ch[i].Seq <= ch[i-1].Seq {
+			t.Error("channels not sorted by sequence")
+		}
+	}
+}

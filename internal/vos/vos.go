@@ -1,0 +1,162 @@
+// Package vos is the virtual operating-system layer that substitutes for
+// SandTable's LD_PRELOAD interposition (§A.1 of the paper).
+//
+// The paper's interceptor overrides ~20 POSIX APIs inside the target
+// process to control every source of nondeterminism: the clock
+// (clock_gettime/gettimeofday), the network (send/recv and friends), and
+// randomness. Our target systems are Go implementations written against the
+// Env interface below, which exposes exactly that controlled surface. The
+// deterministic execution engine (internal/engine) owns the Env and fires
+// all events, so an execution is a pure function of the command sequence.
+package vos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Clock is a per-node virtual clock. Reads advance it by one nanosecond so
+// time stays strictly monotonic (the paper's "small predefined increment");
+// the engine advances it in larger steps to trigger timeouts without
+// waiting for wall-clock time.
+type Clock struct {
+	now time.Time
+}
+
+// NewClock starts the clock at a fixed epoch so executions are reproducible.
+func NewClock() *Clock {
+	return &Clock{now: time.Unix(1700000000, 0)}
+}
+
+// Now returns the current virtual time, bumping it by 1ns.
+func (c *Clock) Now() time.Time {
+	c.now = c.now.Add(time.Nanosecond)
+	return c.now
+}
+
+// Peek returns the current virtual time without advancing it.
+func (c *Clock) Peek() time.Time { return c.now }
+
+// Advance moves the clock forward by d (engine "advance time" command).
+func (c *Clock) Advance(d time.Duration) {
+	c.now = c.now.Add(d)
+}
+
+// Store is a node's durable storage: the data that survives a crash. The
+// paper's node-crash model clears all volatile data but preserves persistent
+// data (e.g. Raft's currentTerm, votedFor, and log).
+type Store struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// NewStore returns an empty durable store.
+func NewStore() *Store { return &Store{data: make(map[string][]byte)} }
+
+// Persist durably records value under key.
+func (s *Store) Persist(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = append([]byte(nil), value...)
+}
+
+// Load reads the durable value for key.
+func (s *Store) Load(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Wipe clears the store (used to reset a cluster between traces, NOT on
+// crash — crashes preserve durable state).
+func (s *Store) Wipe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string][]byte)
+}
+
+// Len reports the number of persisted keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Env is the controlled syscall surface a node process runs against.
+type Env interface {
+	// ID is this node's identity (0-based), N the cluster size.
+	ID() int
+	N() int
+	// Now reads the virtual clock (monotonic; engine-controlled).
+	Now() time.Time
+	// Send transmits a message to peer `to` through the network proxy.
+	// Messages to disconnected peers are silently dropped, matching TCP
+	// connection breakage under partition/crash.
+	Send(to int, msg []byte)
+	// Connected reports whether the connection to peer `to` is currently
+	// established (a real process observes this as send errors or TCP
+	// resets).
+	Connected(to int) bool
+	// Rand is a deterministic, per-node-seeded random source.
+	Rand() *rand.Rand
+	// Logf writes to the node's captured log (the engine parses logs to
+	// observe state, mirroring the paper's logging-fd interception, §A.4).
+	Logf(format string, args ...any)
+	// Persist/Load access the durable store that survives crashes.
+	Persist(key string, value []byte)
+	Load(key string) ([]byte, bool)
+}
+
+// Process is a node implementation runnable under the engine. All methods
+// are invoked by the engine only — never concurrently — which is exactly the
+// determinism the paper's interposition enforces on real processes.
+type Process interface {
+	// Start initialises the node. Called on cluster boot and on restart
+	// after a crash (in which case Load reveals the pre-crash durable
+	// state).
+	Start(env Env)
+	// Receive handles one delivered message.
+	Receive(from int, msg []byte)
+	// Tick is called after the engine advances the virtual clock; the
+	// process checks its deadlines and fires any timers that became due.
+	Tick()
+	// ClientRequest submits one client operation (write value, etc.).
+	ClientRequest(payload string)
+	// Observe renders the node's state variables for conformance checking
+	// (the paper's "query the system's APIs" observation path).
+	Observe() map[string]string
+}
+
+// LogBuffer captures a node's log output for the log-parsing observation
+// path.
+type LogBuffer struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+// Append adds a formatted line.
+func (l *LogBuffer) Append(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+// Lines returns a copy of all captured lines.
+func (l *LogBuffer) Lines() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.lines...)
+}
+
+// Reset clears the buffer.
+func (l *LogBuffer) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = nil
+}

@@ -1,0 +1,76 @@
+package vos
+
+import (
+	"testing"
+)
+
+func TestClockMonotonicOnReads(t *testing.T) {
+	c := NewClock()
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		now := c.Now()
+		if !now.After(prev) {
+			t.Fatal("clock reads must be strictly monotonic")
+		}
+		prev = now
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	before := c.Peek()
+	c.Advance(1000)
+	if got := c.Peek().Sub(before); got != 1000 {
+		t.Fatalf("advance = %v", got)
+	}
+}
+
+func TestClockStartsAtFixedEpoch(t *testing.T) {
+	if !NewClock().Peek().Equal(NewClock().Peek()) {
+		t.Fatal("clocks must start identically for reproducibility")
+	}
+}
+
+func TestStorePersistLoadIsolation(t *testing.T) {
+	s := NewStore()
+	val := []byte("hello")
+	s.Persist("k", val)
+	val[0] = 'X' // caller mutation must not leak in
+	got, ok := s.Load("k")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("load = %q, %v", got, ok)
+	}
+	got[0] = 'Y' // returned copy mutation must not leak back
+	again, _ := s.Load("k")
+	if string(again) != "hello" {
+		t.Fatal("store aliases caller memory")
+	}
+	if _, ok := s.Load("missing"); ok {
+		t.Fatal("missing key reported present")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Wipe()
+	if s.Len() != 0 {
+		t.Fatal("wipe did not clear")
+	}
+}
+
+func TestLogBuffer(t *testing.T) {
+	var l LogBuffer
+	l.Append("line %d", 1)
+	l.Append("line %d", 2)
+	lines := l.Lines()
+	if len(lines) != 2 || lines[0] != "line 1" {
+		t.Fatalf("lines = %v", lines)
+	}
+	lines[0] = "mutated"
+	if l.Lines()[0] != "line 1" {
+		t.Fatal("Lines aliases internal storage")
+	}
+	l.Reset()
+	if len(l.Lines()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
