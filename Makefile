@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate every change must pass: compile, static checks, and the
+# full test suite under the race detector.
+ci: build vet race
+
+# bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
+# (see scripts/bench.sh for the JSON shape).
+bench:
+	./scripts/bench.sh
+
+clean:
+	rm -f BENCH_explorer.json

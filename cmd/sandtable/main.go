@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/conformance"
 	"github.com/sandtable-go/sandtable/internal/explorer"
 	"github.com/sandtable-go/sandtable/internal/integrations"
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/ranking"
 	"github.com/sandtable-go/sandtable/internal/replay"
 	"github.com/sandtable-go/sandtable/internal/sandtable"
@@ -94,6 +96,122 @@ func addSessionFlags(fs *flag.FlagSet) *sessionFlags {
 	}
 }
 
+// obsFlags are the observability flags shared by the long-running
+// subcommands (check, simulate, conform, confirm, replay).
+type obsFlags struct {
+	progress   *time.Duration
+	metricsOut *string
+	traceOut   *string
+	pprofAddr  *string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		progress:   fs.Duration("progress", 0, "print TLC-style progress lines to stderr at this interval (0 = off)"),
+		metricsOut: fs.String("metrics-out", "", "write the final metrics snapshot + result summary as JSON to this file"),
+		traceOut:   fs.String("trace-out", "", "write structured JSONL observability events to this file"),
+		pprofAddr:  fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)"),
+	}
+}
+
+// obsSession is the per-run observability state: the registry every layer
+// reports into, the optional JSONL tracer, the progress callback, and the
+// optional pprof/expvar server.
+type obsSession struct {
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	traceFile  *os.File
+	progress   obs.ProgressFunc
+	interval   time.Duration
+	metricsOut string
+	stopPprof  func() error
+}
+
+func (f *obsFlags) open() (*obsSession, error) {
+	s := &obsSession{reg: obs.NewRegistry(), metricsOut: *f.metricsOut}
+	if *f.progress > 0 {
+		s.progress = obs.StderrProgress()
+		s.interval = *f.progress
+	}
+	if *f.traceOut != "" {
+		file, err := os.Create(*f.traceOut)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = file
+		s.tracer = obs.NewTracer(file)
+	}
+	if *f.pprofAddr != "" {
+		addr, stop, err := obs.ServeDebug(*f.pprofAddr, s.reg)
+		if err != nil {
+			s.close(nil)
+			return nil, err
+		}
+		s.stopPprof = stop
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof and /debug/vars on http://%s\n", addr)
+	}
+	return s, nil
+}
+
+// close finalises the session: writes the metrics snapshot (merged with the
+// result summary) when -metrics-out is set, flushes and closes the JSONL
+// trace, and stops the pprof server.
+func (s *obsSession) close(result map[string]any) error {
+	var firstErr error
+	if s.metricsOut != "" {
+		snap := s.reg.Snapshot()
+		if result != nil {
+			snap["result"] = result
+		}
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err == nil {
+			err = os.WriteFile(s.metricsOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("metrics-out: %w", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", s.metricsOut)
+		}
+	}
+	if s.tracer != nil {
+		if err := s.tracer.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%d trace events written to %s\n", s.tracer.Events(), s.traceFile.Name())
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.stopPprof != nil {
+		s.stopPprof()
+	}
+	return firstErr
+}
+
+// resultSummary renders an explorer result for the metrics JSON, echoing
+// the registry key names so downstream tooling reads one vocabulary.
+func resultSummary(res *explorer.Result) map[string]any {
+	out := map[string]any{
+		"distinct_states": res.DistinctStates,
+		"transitions":     res.Transitions,
+		"dedup_hits":      res.DedupHits,
+		"max_queue_len":   res.MaxQueueLen,
+		"max_depth":       res.MaxDepth,
+		"duration_ns":     res.Duration.Nanoseconds(),
+		"states_per_sec":  res.StatesPerSecond(),
+		"dedup_ratio":     res.DedupRatio(),
+		"stop_reason":     res.StopReason,
+		"exhausted":       res.Exhausted,
+		"violations":      len(res.Violations),
+	}
+	if v := res.FirstViolation(); v != nil {
+		out["first_violation"] = v.String()
+	}
+	return out
+}
+
 func (f *sessionFlags) session() (*sandtable.SandTable, error) {
 	sys, err := integrations.Get(*f.system)
 	if err != nil {
@@ -133,6 +251,7 @@ func (f *sessionFlags) session() (*sandtable.SandTable, error) {
 func runCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	sf := addSessionFlags(fs)
+	of := addObsFlags(fs)
 	workers := fs.Int("workers", 0, "BFS workers (0 = NumCPU)")
 	showTrace := fs.Bool("trace", true, "print the counterexample trace")
 	out := fs.String("o", "", "write the counterexample trace as JSON (replay it with `sandtable replay -trace <file>`)")
@@ -142,33 +261,50 @@ func runCheck(args []string) error {
 	if err != nil {
 		return err
 	}
+	o, err := of.open()
+	if err != nil {
+		return err
+	}
 	opts := explorer.DefaultOptions()
 	opts.Deadline = *sf.deadline
 	opts.Workers = *workers
+	opts.Progress = o.progress
+	opts.ProgressInterval = o.interval
+	opts.Metrics = o.reg
+	opts.Tracer = o.tracer
+
+	stopExplore := o.reg.StartPhase("explore")
 	res := st.Check(opts)
-	fmt.Printf("explored %d distinct states (max depth %d) in %s — %.0f states/s, stop: %s\n",
-		res.DistinctStates, res.MaxDepth, res.Duration.Round(time.Millisecond), res.StatesPerSecond(), res.StopReason)
+	stopExplore()
+
+	fmt.Printf("explored %d distinct states (max depth %d) in %s — %.0f states/s, dedup %.1f%% (%d hits), peak queue %d, stop: %s\n",
+		res.DistinctStates, res.MaxDepth, res.Duration.Round(time.Millisecond), res.StatesPerSecond(),
+		100*res.DedupRatio(), res.DedupHits, res.MaxQueueLen, res.StopReason)
 	v := res.FirstViolation()
 	if v == nil {
 		fmt.Println("no invariant violation found")
-		return nil
+		return o.close(resultSummary(res))
 	}
 	fmt.Printf("VIOLATION: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
 	if *showTrace {
 		fmt.Println(v.Trace.Format(false))
 	}
 	if *out != "" {
+		stopOut := o.reg.StartPhase("write-trace")
 		f, err := os.Create(*out)
 		if err != nil {
+			o.close(resultSummary(res))
 			return err
 		}
 		defer f.Close()
 		if err := v.Trace.Encode(f); err != nil {
+			o.close(resultSummary(res))
 			return err
 		}
+		stopOut()
 		fmt.Printf("trace written to %s\n", *out)
 	}
-	return nil
+	return o.close(resultSummary(res))
 }
 
 // runReplay replays a saved trace against a fresh implementation cluster,
@@ -176,6 +312,7 @@ func runCheck(args []string) error {
 func runReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	sf := addSessionFlags(fs)
+	of := addObsFlags(fs)
 	file := fs.String("trace", "", "trace JSON written by `sandtable check -o`")
 	fs.Parse(args)
 	if *file == "" {
@@ -194,25 +331,39 @@ func runReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	o, err := of.open()
+	if err != nil {
+		return err
+	}
+	stopReplay := o.reg.StartPhase("replay")
 	cluster, err := st.Sys.NewCluster(st.Config, st.ImplBugs, 1)
 	if err != nil {
+		o.close(nil)
 		return err
 	}
-	res, err := replay.ConfirmBug(tr, cluster, replay.Options{IgnoreVars: st.Sys.IgnoreVars, Observe: st.Sys.Observe})
+	res, err := replay.ConfirmBug(tr, cluster, replay.Options{
+		IgnoreVars: st.Sys.IgnoreVars, Observe: st.Sys.Observe,
+		Tracer: o.tracer, Metrics: o.reg,
+	})
 	if err != nil {
+		o.close(nil)
 		return err
 	}
+	stopReplay()
+	summary := map[string]any{"steps": res.Steps, "confirmed": res.Confirmed}
 	if res.Confirmed {
 		fmt.Printf("CONFIRMED: %d events replayed deterministically, every step conforming\n", res.Steps)
-		return nil
+		return o.close(summary)
 	}
 	fmt.Printf("replay diverged: %s\n", res.Divergence.Describe())
-	return nil
+	summary["divergence"] = res.Divergence.Describe()
+	return o.close(summary)
 }
 
 func runSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	sf := addSessionFlags(fs)
+	of := addObsFlags(fs)
 	walks := fs.Int("walks", 100, "number of random walks")
 	depth := fs.Int("depth", 0, "walk depth bound (0 = until deadlock)")
 	seed := fs.Int64("seed", 1, "base seed")
@@ -222,8 +373,18 @@ func runSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	sim := explorer.NewSimulator(st.Machine(), explorer.SimOptions{MaxDepth: *depth, Seed: *seed, CheckInvariants: true})
+	o, err := of.open()
+	if err != nil {
+		return err
+	}
+	sim := explorer.NewSimulator(st.Machine(), explorer.SimOptions{
+		MaxDepth: *depth, Seed: *seed, CheckInvariants: true,
+		Progress: o.progress, ProgressInterval: o.interval,
+		Metrics: o.reg, Tracer: o.tracer,
+	})
+	stopSim := o.reg.StartPhase("simulate")
 	results := sim.Walks(*walks)
+	stopSim()
 	agg := explorer.Aggregate(results)
 	fmt.Printf("walks=%d branch-coverage=%d event-diversity=%d max-depth=%d mean-depth=%.1f violations=%d elapsed=%s\n",
 		agg.Walks, agg.BranchCoverage, agg.EventDiversity, agg.MaxDepth, agg.MeanDepth, agg.Violations, agg.TotalElapsed.Round(time.Millisecond))
@@ -233,7 +394,14 @@ func runSimulate(args []string) error {
 			break
 		}
 	}
-	return nil
+	return o.close(map[string]any{
+		"walks":           agg.Walks,
+		"branch_coverage": agg.BranchCoverage,
+		"event_diversity": agg.EventDiversity,
+		"max_depth":       agg.MaxDepth,
+		"mean_depth":      agg.MeanDepth,
+		"violations":      agg.Violations,
+	})
 }
 
 func runRank(args []string) error {
@@ -265,6 +433,7 @@ func runRank(args []string) error {
 func runConform(args []string) error {
 	fs := flag.NewFlagSet("conform", flag.ExitOnError)
 	sf := addSessionFlags(fs)
+	of := addObsFlags(fs)
 	walks := fs.Int("walks", 200, "random traces to replay")
 	depth := fs.Int("depth", 30, "trace depth bound")
 	seed := fs.Int64("seed", 1, "base seed")
@@ -274,48 +443,90 @@ func runConform(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := st.Conform(conformance.Options{Walks: *walks, WalkDepth: *depth, Seed: *seed})
+	o, err := of.open()
 	if err != nil {
 		return err
 	}
+	stopConform := o.reg.StartPhase("conform")
+	rep, err := st.Conform(conformance.Options{
+		Walks: *walks, WalkDepth: *depth, Seed: *seed,
+		Progress: o.progress, ProgressInterval: o.interval,
+		Metrics: o.reg, Tracer: o.tracer,
+	})
+	if err != nil {
+		o.close(nil)
+		return err
+	}
+	stopConform()
 	fmt.Printf("conformance: %d walks, %d events checked in %s\n", rep.Walks, rep.EventsChecked, rep.Duration.Round(time.Millisecond))
+	summary := map[string]any{"walks": rep.Walks, "events_checked": rep.EventsChecked, "passed": rep.Passed()}
 	if rep.Passed() {
 		fmt.Println("PASS: no spec/impl discrepancy found")
-		return nil
+		return o.close(summary)
 	}
 	fmt.Printf("DISCREPANCY: %v\n", rep.Discrepancy)
 	fmt.Println("trace prefix:")
 	fmt.Println(rep.Discrepancy.Trace.Format(false))
-	return nil
+	summary["discrepancy"] = rep.Discrepancy.Error()
+	return o.close(summary)
 }
 
 func runConfirm(args []string) error {
 	fs := flag.NewFlagSet("confirm", flag.ExitOnError)
 	sf := addSessionFlags(fs)
+	of := addObsFlags(fs)
 	fs.Parse(args)
 
 	st, err := sf.session()
 	if err != nil {
 		return err
 	}
-	opts := explorer.DefaultOptions()
-	opts.Deadline = *sf.deadline
-	res := st.Check(opts)
-	v := res.FirstViolation()
-	if v == nil {
-		return fmt.Errorf("no violation found to confirm (%d states)", res.DistinctStates)
-	}
-	fmt.Printf("violation: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
-	conf, err := st.Confirm(v)
+	o, err := of.open()
 	if err != nil {
 		return err
 	}
+	opts := explorer.DefaultOptions()
+	opts.Deadline = *sf.deadline
+	opts.Progress = o.progress
+	opts.ProgressInterval = o.interval
+	opts.Metrics = o.reg
+	opts.Tracer = o.tracer
+
+	stopExplore := o.reg.StartPhase("explore")
+	res := st.Check(opts)
+	stopExplore()
+	summary := resultSummary(res)
+	v := res.FirstViolation()
+	if v == nil {
+		o.close(summary)
+		return fmt.Errorf("no violation found to confirm (%d states)", res.DistinctStates)
+	}
+	fmt.Printf("violation: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
+
+	stopReplay := o.reg.StartPhase("replay")
+	cluster, err := st.Sys.NewCluster(st.Config, st.ImplBugs, 1)
+	if err != nil {
+		o.close(summary)
+		return err
+	}
+	conf, err := replay.ConfirmBug(v.Trace, cluster, replay.Options{
+		IgnoreVars: st.Sys.IgnoreVars, Observe: st.Sys.Observe,
+		Tracer: o.tracer, Metrics: o.reg,
+	})
+	if err != nil {
+		o.close(summary)
+		return err
+	}
+	stopReplay()
+	summary["replay_steps"] = conf.Steps
+	summary["confirmed"] = conf.Confirmed
 	if conf.Confirmed {
 		fmt.Printf("CONFIRMED at the implementation level (%d events replayed, every step conforming)\n", conf.Steps)
-		return nil
+		return o.close(summary)
 	}
 	fmt.Printf("NOT confirmed — replay diverged: %s\n", conf.Divergence.Describe())
-	return nil
+	summary["divergence"] = conf.Divergence.Describe()
+	return o.close(summary)
 }
 
 func runList() error {

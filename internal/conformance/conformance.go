@@ -11,10 +11,12 @@ package conformance
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/sandtable-go/sandtable/internal/engine"
 	"github.com/sandtable-go/sandtable/internal/explorer"
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/replay"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
@@ -48,6 +50,19 @@ type Options struct {
 	// Timeout stops the run early (the paper's stopping condition is a
 	// period with no discrepancies, e.g. 30 minutes; tests use seconds).
 	Timeout time.Duration
+	// Progress, when set, receives a snapshot after every replayed walk
+	// (Depth = walks completed, DistinctStates/Transitions = events
+	// checked). Cadence as in explorer.Options (default 5s).
+	Progress obs.ProgressFunc
+	// ProgressInterval is the minimum wall-clock time between reports.
+	ProgressInterval time.Duration
+	// Metrics, when set, receives conformance.walks / conformance.events
+	// counters and is installed on every replay cluster (engine.* and
+	// vnet.* counters accumulate across walks).
+	Metrics *obs.Registry
+	// Tracer, when set, records every engine/vnet/replay event of every
+	// replayed walk, separated by "walk-start" markers.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions is a short conformance round.
@@ -89,6 +104,14 @@ func Run(t *Target, opts Options) (*Report, error) {
 		Seed:       opts.Seed,
 		RecordVars: true,
 	})
+	interval := opts.ProgressInterval
+	if opts.Progress != nil && interval == 0 {
+		interval = 5 * time.Second
+	}
+	reporter := obs.NewReporter(opts.Progress, interval, 0)
+	walksCtr := opts.Metrics.Counter("conformance.walks")
+	eventsCtr := opts.Metrics.Counter("conformance.events")
+
 	rep := &Report{}
 	for w := 0; w < opts.Walks; w++ {
 		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
@@ -100,26 +123,49 @@ func Run(t *Target, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("conformance: boot cluster: %w", err)
 		}
-		res, err := runOne(t, walk.Trace, cluster)
+		if opts.Tracer != nil {
+			opts.Tracer.Emit(obs.Event{
+				Layer: "conformance", Kind: "walk-start", Node: -1,
+				Detail: map[string]string{"walk": strconv.Itoa(w), "seed": strconv.FormatInt(seed, 10), "depth": strconv.Itoa(walk.Stats.Depth)},
+			})
+		}
+		res, err := runOne(t, walk.Trace, cluster, opts.Tracer, opts.Metrics)
 		if err != nil {
 			return nil, err
 		}
 		rep.Walks++
+		walksCtr.Inc()
 		rep.EventsChecked += res.Steps
+		eventsCtr.Add(int64(res.Steps))
 		if res.Divergence != nil {
 			rep.Discrepancy = &Discrepancy{Walk: w, Seed: seed, Step: res.Divergence, Trace: walk.Trace}
 			break
 		}
+		reporter.Maybe(obs.Progress{
+			DistinctStates: rep.EventsChecked,
+			Transitions:    int64(rep.EventsChecked),
+			Depth:          rep.Walks,
+		})
 	}
 	rep.Duration = time.Since(start)
+	if opts.Progress != nil {
+		reporter.Emit(obs.Progress{
+			DistinctStates: rep.EventsChecked,
+			Transitions:    int64(rep.EventsChecked),
+			Depth:          rep.Walks,
+			Final:          true,
+		})
+	}
 	return rep, nil
 }
 
-func runOne(t *Target, tr *trace.Trace, c *engine.Cluster) (*replay.Result, error) {
+func runOne(t *Target, tr *trace.Trace, c *engine.Cluster, tracer *obs.Tracer, metrics *obs.Registry) (*replay.Result, error) {
 	opts := replay.Options{
 		CompareEachStep: true,
 		IgnoreVars:      t.IgnoreVars,
 		Observe:         t.Observe,
+		Tracer:          tracer,
+		Metrics:         metrics,
 	}
 	if t.ResourceCheck == nil {
 		return replay.Run(tr, c, opts)

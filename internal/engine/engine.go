@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime/debug"
+	"strconv"
 	"time"
 
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/trace"
 	"github.com/sandtable-go/sandtable/internal/vnet"
 	"github.com/sandtable-go/sandtable/internal/vos"
@@ -108,6 +110,17 @@ type Cluster struct {
 	events  int
 	simCost time.Duration
 	history []Command
+
+	// netVarKeys / nodeVarSuffix are the observation key tables, rendered
+	// once at boot so ObserveAll never calls fmt.Sprintf on its per-step
+	// hot path: netVarKeys[src][dst] = "net[src->dst]",
+	// nodeVarSuffix[i] = "[i]".
+	netVarKeys    [][]string
+	nodeVarSuffix []string
+
+	tracer  *obs.Tracer // structured event sink (nil-safe)
+	metrics *obs.Registry
+	cmds    *obs.Counter // commands executed, mirrored into metrics
 }
 
 // NewCluster boots a cluster: every node is constructed and started.
@@ -128,6 +141,17 @@ func NewCluster(cfg Config, factory func(id int) vos.Process) (*Cluster, error) 
 		partitions: make(map[[2]int]bool),
 	}
 	c.simCost += cfg.Cost.ClusterInit
+	c.netVarKeys = make([][]string, cfg.Nodes)
+	c.nodeVarSuffix = make([]string, cfg.Nodes)
+	for src := 0; src < cfg.Nodes; src++ {
+		c.nodeVarSuffix[src] = "[" + strconv.Itoa(src) + "]"
+		c.netVarKeys[src] = make([]string, cfg.Nodes)
+		for dst := 0; dst < cfg.Nodes; dst++ {
+			if src != dst {
+				c.netVarKeys[src][dst] = fmt.Sprintf("net[%d->%d]", src, dst)
+			}
+		}
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.clocks[i] = vos.NewClock()
 		c.stores[i] = vos.NewStore()
@@ -174,6 +198,24 @@ func (c *Cluster) Logs(i int) []string { return c.logs[i].Lines() }
 // History returns the executed command sequence.
 func (c *Cluster) History() []Command { return append([]Command(nil), c.history...) }
 
+// SetTracer installs a structured event sink on the cluster and its network
+// proxy: every applied command, virtual-clock advance, node crash/restart,
+// and network send/deliver/drop is emitted as one JSONL event, leaving a
+// replayable, diffable record of what the implementation run actually did.
+// A nil tracer disables tracing.
+func (c *Cluster) SetTracer(t *obs.Tracer) {
+	c.tracer = t
+	c.net.SetTracer(t)
+}
+
+// SetMetrics mirrors cluster and network counters into the registry
+// (engine.commands plus the vnet.* family). A nil registry uninstalls.
+func (c *Cluster) SetMetrics(reg *obs.Registry) {
+	c.metrics = reg
+	c.cmds = reg.Counter("engine.commands")
+	c.net.SetMetrics(reg)
+}
+
 // Process returns the running process for node i (nil when crashed); used
 // by system-specific observers.
 func (c *Cluster) Process(i int) vos.Process {
@@ -190,8 +232,20 @@ func (c *Cluster) Process(i int) vos.Process {
 // discrepancy.
 func (c *Cluster) Apply(cmd Command) error {
 	c.events++
+	c.cmds.Inc()
 	c.simCost += c.cfg.Cost.Cost(cmd)
 	c.history = append(c.history, cmd)
+	if c.tracer != nil {
+		detail := map[string]string{"event": strconv.Itoa(c.events)}
+		if cmd.Payload != "" {
+			detail["payload"] = cmd.Payload
+		}
+		c.tracer.Emit(obs.Event{
+			Layer: "engine", Kind: string(cmd.Type),
+			Node: cmd.Node, Peer: cmd.Peer, Index: cmd.Index,
+			Detail: detail,
+		})
+	}
 
 	switch cmd.Type {
 	case trace.EvDeliver:
@@ -261,6 +315,12 @@ func (c *Cluster) timeout(cmd Command) error {
 		return fmt.Errorf("engine: no timeout duration configured for kind %q", cmd.Payload)
 	}
 	c.clocks[cmd.Node].Advance(d)
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{
+			Layer: "engine", Kind: "clock-advance", Node: cmd.Node,
+			Detail: map[string]string{"kind": cmd.Payload, "advance": d.String()},
+		})
+	}
 	return c.invoke(cmd, cmd.Node, func(p vos.Process) { p.Tick() })
 }
 
@@ -342,6 +402,13 @@ func (c *Cluster) invoke(cmd Command, node int, fn func(vos.Process)) (err error
 	defer func() {
 		if r := recover(); r != nil {
 			err = &CrashError{Node: node, Cmd: cmd, Panic: r, Stack: string(debug.Stack())}
+			if c.tracer != nil {
+				c.tracer.Emit(obs.Event{
+					Layer: "engine", Kind: "node-panic", Node: node,
+					Detail: map[string]string{"panic": fmt.Sprint(r), "cmd": cmd.String()},
+				})
+			}
+			c.metrics.Counter("engine.node_panics").Inc()
 			c.procs[node] = nil
 			c.up[node] = false
 			c.net.CrashNode(node)

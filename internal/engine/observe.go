@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"regexp"
+	"strconv"
 )
 
 // Observe renders node i's state variables via the process's observation
@@ -25,7 +26,9 @@ func (c *Cluster) Observe(i int) (map[string]string, error) {
 
 // ObserveAll collects every node's variables under "var[i]" keys, plus the
 // network environment (message counts per channel) which the engine manages
-// itself and can compare directly (§3.2).
+// itself and can compare directly (§3.2). Conformance checking calls this
+// once per replayed event, so the key rendering uses the tables precomputed
+// at boot instead of fmt.Sprintf.
 func (c *Cluster) ObserveAll() (map[string]string, error) {
 	out := make(map[string]string)
 	for i := 0; i < c.cfg.Nodes; i++ {
@@ -33,28 +36,32 @@ func (c *Cluster) ObserveAll() (map[string]string, error) {
 		if err != nil {
 			return nil, err
 		}
+		sfx := c.nodeVarSuffix[i]
 		for k, v := range vars {
-			out[fmt.Sprintf("%s[%d]", k, i)] = v
+			out[k+sfx] = v
 		}
 	}
-	for k, v := range c.NetworkVars() {
-		out[k] = v
-	}
+	c.networkVars(out)
 	return out, nil
 }
 
 // NetworkVars renders the proxy state: per-channel buffered message counts.
 func (c *Cluster) NetworkVars() map[string]string {
-	out := make(map[string]string)
+	out := make(map[string]string, c.cfg.Nodes*(c.cfg.Nodes-1))
+	c.networkVars(out)
+	return out
+}
+
+func (c *Cluster) networkVars(out map[string]string) {
 	for src := 0; src < c.cfg.Nodes; src++ {
+		keys := c.netVarKeys[src]
 		for dst := 0; dst < c.cfg.Nodes; dst++ {
 			if src == dst {
 				continue
 			}
-			out[fmt.Sprintf("net[%d->%d]", src, dst)] = fmt.Sprint(c.net.Len(src, dst))
+			out[keys[dst]] = strconv.Itoa(c.net.Len(src, dst))
 		}
 	}
-	return out
 }
 
 // LogObserver extracts state variables from captured debug logs using

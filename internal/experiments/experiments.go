@@ -17,6 +17,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/bugdb"
 	"github.com/sandtable-go/sandtable/internal/explorer"
 	"github.com/sandtable-go/sandtable/internal/integrations"
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/sandtable"
 	"github.com/sandtable-go/sandtable/internal/spec"
 )
@@ -134,6 +135,15 @@ type Options struct {
 	ImplTraces int
 	// ConformanceWalks bounds conformance-stage bug hunts.
 	ConformanceWalks int
+	// Progress, when set, receives progress reports from every
+	// model-checking run inside the suite (cadence: ProgressInterval,
+	// default 5s — see explorer.Options).
+	Progress         obs.ProgressFunc
+	ProgressInterval time.Duration
+	// Metrics, when set, collects explorer gauges plus per-phase
+	// wall-clock durations (phase.table3.<system>.exp1_ns etc.), so a
+	// suite run leaves a machine-readable record of where the time went.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions runs the full suite in a few minutes.
@@ -163,5 +173,8 @@ func checkOptions(o Options) explorer.Options {
 	opts := explorer.DefaultOptions()
 	opts.Deadline = o.Deadline
 	opts.Workers = o.Workers
+	opts.Progress = o.Progress
+	opts.ProgressInterval = o.ProgressInterval
+	opts.Metrics = o.Metrics
 	return opts
 }

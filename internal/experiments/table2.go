@@ -43,6 +43,7 @@ func Table2(o Options) ([]Table2Row, error) {
 	for _, info := range bugdb.Catalog {
 		var row Table2Row
 		var err error
+		stop := o.Metrics.StartPhase("table2." + info.ID)
 		switch info.Stage {
 		case bugdb.StageVerification:
 			row, err = detectVerification(info, o)
@@ -51,6 +52,7 @@ func Table2(o Options) ([]Table2Row, error) {
 		case bugdb.StageModeling:
 			row, err = detectModeling(info, o)
 		}
+		stop()
 		if err != nil {
 			return nil, fmt.Errorf("table2 %s: %w", info.ID, err)
 		}

@@ -88,7 +88,12 @@ func Table3(o Options) ([]Table3Row, error) {
 		opts.Workers = o.Workers
 		opts.Deadline = o.Deadline
 		opts.MaxStates = 4_000_000
+		opts.Progress = o.Progress
+		opts.ProgressInterval = o.ProgressInterval
+		opts.Metrics = o.Metrics
+		stop1 := o.Metrics.StartPhase("table3." + name + ".exp1")
 		res1 := st.Check(opts)
+		stop1()
 		if v := res1.FirstViolation(); v != nil {
 			return nil, fmt.Errorf("table3 %s: bug-fixed spec violated %s: %v", name, v.Invariant, v.Err)
 		}
@@ -97,7 +102,9 @@ func Table3(o Options) ([]Table3Row, error) {
 		st2 := sandtable.New(sys, c, b1.Double(), bugdb.NoBugs())
 		opts2 := opts
 		opts2.Deadline = o.ExplorationBudget
+		stop2 := o.Metrics.StartPhase("table3." + name + ".exp2")
 		res2 := st2.Check(opts2)
+		stop2()
 		if v := res2.FirstViolation(); v != nil {
 			return nil, fmt.Errorf("table3 %s (exp2): bug-fixed spec violated %s: %v", name, v.Invariant, v.Err)
 		}

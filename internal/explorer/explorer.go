@@ -14,9 +14,11 @@ package explorer
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
 )
@@ -47,6 +49,24 @@ type Options struct {
 	// any explored state satisfies it (used e.g. to demonstrate
 	// modeling-stage findings such as "no leader is ever elected").
 	Goal func(s spec.State) bool
+
+	// Progress, when set, receives TLC-style periodic progress snapshots
+	// during the run (distinct states, frontier size, throughput). The
+	// cadence is ProgressInterval and/or ProgressStates; with both zero a
+	// 5-second interval is used. Checked only at block boundaries (~16k
+	// states), so the callback never sits on the hot path.
+	Progress obs.ProgressFunc
+	// ProgressInterval is the minimum wall-clock time between reports.
+	ProgressInterval time.Duration
+	// ProgressStates reports every N newly discovered distinct states.
+	ProgressStates int
+	// Metrics, when set, receives live counters during the run (keys:
+	// distinct_states, transitions, dedup_hits, queue_len, max_queue_len,
+	// depth) so an expvar/pprof endpoint can watch a run in flight.
+	Metrics *obs.Registry
+	// Tracer, when set, receives one "level" event per completed BFS level
+	// — a structured record of how the exploration advanced.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the options used by the SandTable workflow.
@@ -72,9 +92,17 @@ func (v *Violation) String() string {
 type Result struct {
 	DistinctStates int
 	Transitions    int64
-	MaxDepth       int
-	Duration       time.Duration
-	Violations     []*Violation
+	// DedupHits counts successors discarded because their canonical
+	// fingerprint was already in the visited set — the work the stateful
+	// discipline saves over stateless search (§2.1).
+	DedupHits int64
+	// MaxQueueLen is the BFS frontier high-water mark (states awaiting
+	// expansion plus states discovered for the next level), the run's peak
+	// memory driver.
+	MaxQueueLen int
+	MaxDepth    int
+	Duration    time.Duration
+	Violations  []*Violation
 	// GoalReached reports whether any explored state satisfied Options.Goal.
 	GoalReached bool
 	// Exhausted is true when the bounded state space was fully explored.
@@ -90,6 +118,14 @@ func (r *Result) StatesPerSecond() float64 {
 		return 0
 	}
 	return float64(r.DistinctStates) / r.Duration.Seconds()
+}
+
+// DedupRatio is the fraction of generated successors that were duplicates.
+func (r *Result) DedupRatio() float64 {
+	if r.Transitions == 0 {
+		return 0
+	}
+	return float64(r.DedupHits) / float64(r.Transitions)
 }
 
 // FirstViolation returns the minimal-depth violation, or nil.
@@ -180,6 +216,49 @@ type succRecord struct {
 	parent uint64
 }
 
+// runMetrics holds the registry handles resolved once per run; updates are
+// lock-free atomic stores performed at block granularity, never per state.
+type runMetrics struct {
+	distinct, transitions, dedup, queueLen, maxQueueLen, depth *obs.Gauge
+}
+
+func newRunMetrics(reg *obs.Registry) *runMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &runMetrics{
+		distinct:    reg.Gauge("distinct_states"),
+		transitions: reg.Gauge("transitions"),
+		dedup:       reg.Gauge("dedup_hits"),
+		queueLen:    reg.Gauge("queue_len"),
+		maxQueueLen: reg.Gauge("max_queue_len"),
+		depth:       reg.Gauge("depth"),
+	}
+}
+
+func (m *runMetrics) publish(res *Result, queueLen, depth int) {
+	if m == nil {
+		return
+	}
+	m.distinct.Set(int64(res.DistinctStates))
+	m.transitions.Set(res.Transitions)
+	m.dedup.Set(res.DedupHits)
+	m.queueLen.Set(int64(queueLen))
+	m.maxQueueLen.Set(int64(res.MaxQueueLen))
+	m.depth.Set(int64(depth))
+}
+
+// newReporter builds the progress reporter for a run (nil Progress → a
+// reporter whose calls no-op). With no cadence configured a 5-second
+// interval is used.
+func (o *Options) newReporter() *obs.Reporter {
+	interval := o.ProgressInterval
+	if o.Progress != nil && interval == 0 && o.ProgressStates == 0 {
+		interval = 5 * time.Second
+	}
+	return obs.NewReporter(o.Progress, interval, o.ProgressStates)
+}
+
 // Run performs the breadth-first search and returns the result.
 func (c *Checker) Run() *Result {
 	start := time.Now()
@@ -188,12 +267,15 @@ func (c *Checker) Run() *Result {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	reporter := c.opts.newReporter()
+	metrics := newRunMetrics(c.opts.Metrics)
 
 	invs := c.m.Invariants()
 	var frontier []frontierEntry
 	for _, s := range c.m.Init() {
 		fp := c.canonicalFP(s)
 		if _, seen := c.visited[fp]; seen {
+			res.DedupHits++
 			continue
 		}
 		c.visited[fp] = edge{parent: fp, depth: 0}
@@ -206,6 +288,7 @@ func (c *Checker) Run() *Result {
 		}
 	}
 	res.DistinctStates = len(frontier)
+	res.MaxQueueLen = len(frontier)
 
 	depth := 0
 	stop := ""
@@ -253,6 +336,7 @@ func (c *Checker) Run() *Result {
 			res.Transitions += work
 			for _, r := range records {
 				if _, seen := c.visited[r.fp]; seen {
+					res.DedupHits++
 					continue
 				}
 				c.visited[r.fp] = edge{parent: r.parent, depth: int32(depth)}
@@ -268,6 +352,20 @@ func (c *Checker) Run() *Result {
 					}
 				}
 			}
+			// Block boundary: cheap queue-length bookkeeping and (when
+			// configured) progress/metrics publication. Never per state.
+			queueLen := (len(frontier) - hi) + len(next)
+			if queueLen > res.MaxQueueLen {
+				res.MaxQueueLen = queueLen
+			}
+			metrics.publish(res, queueLen, depth)
+			reporter.Maybe(obs.Progress{
+				DistinctStates: res.DistinctStates,
+				QueueLen:       queueLen,
+				Transitions:    res.Transitions,
+				DedupHits:      res.DedupHits,
+				Depth:          depth,
+			})
 			if c.opts.MaxStates > 0 && res.DistinctStates >= c.opts.MaxStates {
 				break
 			}
@@ -279,6 +377,16 @@ func (c *Checker) Run() *Result {
 		if len(frontier) > 0 {
 			res.MaxDepth = depth
 		}
+		c.opts.Tracer.Emit(obs.Event{
+			Layer: "spec", Kind: "level", Node: -1,
+			Detail: map[string]string{
+				"depth":       strconv.Itoa(depth),
+				"distinct":    strconv.Itoa(res.DistinctStates),
+				"queue":       strconv.Itoa(len(frontier)),
+				"transitions": strconv.FormatInt(res.Transitions, 10),
+				"dedup_hits":  strconv.FormatInt(res.DedupHits, 10),
+			},
+		})
 	}
 
 	if stop == "" {
@@ -291,6 +399,18 @@ func (c *Checker) Run() *Result {
 	}
 	res.StopReason = stop
 	res.Duration = time.Since(start)
+
+	metrics.publish(res, len(frontier), depth)
+	if c.opts.Progress != nil {
+		reporter.Emit(obs.Progress{
+			DistinctStates: res.DistinctStates,
+			QueueLen:       len(frontier),
+			Transitions:    res.Transitions,
+			DedupHits:      res.DedupHits,
+			Depth:          depth,
+			Final:          true,
+		})
+	}
 
 	for _, v := range res.Violations {
 		v.Trace = c.reconstruct(v)

@@ -2,8 +2,10 @@ package explorer
 
 import (
 	"math/rand"
+	"strconv"
 	"time"
 
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
 )
@@ -21,6 +23,20 @@ type SimOptions struct {
 	// RecordVars includes per-step variable maps in the produced traces
 	// (required for conformance checking).
 	RecordVars bool
+
+	// Progress, when set, receives periodic snapshots during Walks: Depth
+	// carries the walk index, DistinctStates/Transitions the cumulative
+	// steps walked. Cadence as in explorer.Options (default 5s).
+	Progress obs.ProgressFunc
+	// ProgressInterval is the minimum wall-clock time between reports.
+	ProgressInterval time.Duration
+	// ProgressStates reports every N walked steps.
+	ProgressStates int
+	// Metrics, when set, receives walk counters (walks, walk_steps,
+	// violations, deadlocks) and a walk_depth histogram.
+	Metrics *obs.Registry
+	// Tracer, when set, receives one "walk" summary event per walk.
+	Tracer *obs.Tracer
 }
 
 // WalkStats captures the per-walk data Algorithm 1 collects: branch coverage
@@ -114,11 +130,57 @@ func (s *Simulator) Walk(seed int64) *WalkResult {
 	return res
 }
 
-// Walks performs n seeded walks (seeds Seed..Seed+n-1) and returns them.
+// Walks performs n seeded walks (seeds Seed..Seed+n-1) and returns them,
+// reporting progress and metrics on the configured cadence.
 func (s *Simulator) Walks(n int) []*WalkResult {
+	interval := s.opts.ProgressInterval
+	if s.opts.Progress != nil && interval == 0 && s.opts.ProgressStates == 0 {
+		interval = 5 * time.Second
+	}
+	reporter := obs.NewReporter(s.opts.Progress, interval, s.opts.ProgressStates)
+	var walkDepth *obs.Histogram
+	if s.opts.Metrics != nil {
+		walkDepth = s.opts.Metrics.Histogram("walk_depth", []int64{5, 10, 20, 50, 100, 500})
+	}
+
 	out := make([]*WalkResult, n)
+	steps := int64(0)
 	for i := range out {
-		out[i] = s.Walk(s.opts.Seed + int64(i))
+		w := s.Walk(s.opts.Seed + int64(i))
+		out[i] = w
+		steps += int64(w.Stats.Depth)
+
+		if reg := s.opts.Metrics; reg != nil {
+			reg.Counter("walks").Inc()
+			reg.Counter("walk_steps").Add(int64(w.Stats.Depth))
+			walkDepth.Observe(int64(w.Stats.Depth))
+			switch w.Stats.Terminal {
+			case "violation":
+				reg.Counter("violations").Inc()
+			case "deadlock":
+				reg.Counter("deadlocks").Inc()
+			}
+		}
+		if s.opts.Tracer != nil {
+			s.opts.Tracer.Emit(obs.Event{
+				Layer: "spec", Kind: "walk", Node: -1,
+				Detail: map[string]string{
+					"walk":     strconv.Itoa(i),
+					"seed":     strconv.FormatInt(s.opts.Seed+int64(i), 10),
+					"depth":    strconv.Itoa(w.Stats.Depth),
+					"terminal": w.Stats.Terminal,
+					"actions":  strconv.Itoa(w.Stats.BranchCoverage()),
+				},
+			})
+		}
+		reporter.Maybe(obs.Progress{
+			DistinctStates: int(steps),
+			Transitions:    steps,
+			Depth:          i + 1,
+		})
+	}
+	if s.opts.Progress != nil {
+		reporter.Emit(obs.Progress{DistinctStates: int(steps), Transitions: steps, Depth: n, Final: true})
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package explorer
 import (
 	"time"
 
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/spec"
 )
 
@@ -14,6 +15,18 @@ type StatelessOptions struct {
 	MaxDepth  int
 	Deadline  time.Duration
 	MaxVisits int64 // stop after this many state visits (0 = off)
+
+	// Progress, when set, receives periodic snapshots: DistinctStates and
+	// Transitions both carry the raw visit count (the stateless discipline
+	// cannot tell duplicates apart — that is its defining deficiency), and
+	// Depth carries the current DFS depth. Cadence as in Options.
+	Progress obs.ProgressFunc
+	// ProgressInterval is the minimum wall-clock time between reports.
+	ProgressInterval time.Duration
+	// ProgressStates reports every N visits.
+	ProgressStates int
+	// Metrics, when set, receives live visit/execution counters.
+	Metrics *obs.Registry
 }
 
 // StatelessResult reports how much work the stateless discipline performed.
@@ -45,6 +58,16 @@ func StatelessSearch(m spec.Machine, opts StatelessOptions) *StatelessResult {
 	if opts.Deadline > 0 {
 		deadline = start.Add(opts.Deadline)
 	}
+	interval := opts.ProgressInterval
+	if opts.Progress != nil && interval == 0 && opts.ProgressStates == 0 {
+		interval = 5 * time.Second
+	}
+	reporter := obs.NewReporter(opts.Progress, interval, opts.ProgressStates)
+	var visitsGauge, execGauge *obs.Gauge
+	if opts.Metrics != nil {
+		visitsGauge = opts.Metrics.Gauge("stateless_visits")
+		execGauge = opts.Metrics.Gauge("stateless_executions")
+	}
 
 	var dfs func(s spec.State, depth int) bool // returns false to abort
 	dfs = func(s spec.State, depth int) bool {
@@ -52,8 +75,19 @@ func StatelessSearch(m spec.Machine, opts StatelessOptions) *StatelessResult {
 		if opts.MaxVisits > 0 && res.Visits >= opts.MaxVisits {
 			return false
 		}
-		if !deadline.IsZero() && res.Visits%4096 == 0 && time.Now().After(deadline) {
-			return false
+		// Observation points share the 4096-visit cadence of the deadline
+		// check so the hot recursion stays free of clock reads.
+		if res.Visits%4096 == 0 {
+			visitsGauge.Set(res.Visits)
+			execGauge.Set(res.Executions)
+			reporter.Maybe(obs.Progress{
+				DistinctStates: int(res.Visits),
+				Transitions:    res.Visits,
+				Depth:          depth,
+			})
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return false
+			}
 		}
 		if v := checkInvariants(invs, s, depth, 0); v != nil {
 			res.Violations++
@@ -83,5 +117,10 @@ func StatelessSearch(m spec.Machine, opts StatelessOptions) *StatelessResult {
 		}
 	}
 	res.Duration = time.Since(start)
+	visitsGauge.Set(res.Visits)
+	execGauge.Set(res.Executions)
+	if opts.Progress != nil {
+		reporter.Emit(obs.Progress{DistinctStates: int(res.Visits), Transitions: res.Visits, Final: true})
+	}
 	return res
 }

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var (
+	publishMu sync.Mutex
+	published = map[string]bool{}
+)
+
+// publish exposes the registry under an expvar name, tolerating repeated
+// calls (expvar.Publish panics on duplicates; CLI subcommands may start
+// more than one debug server per process in tests).
+func publish(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof under
+// /debug/pprof/ and expvar (including the registry snapshot as the
+// "sandtable" var) under /debug/vars — the profiling hooks for long
+// exploration runs. It returns the bound address (useful with ":0") and a
+// shutdown func. The server runs until stopped; handler errors surface on
+// the returned channel-free API as best-effort logging by net/http.
+func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
+	if reg != nil {
+		publish("sandtable", reg)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Progress is a point-in-time snapshot of a checking run, delivered to a
+// ProgressFunc on the reporter's cadence — the reproduction's analogue of
+// TLC's periodic "Progress(depth): N states generated, M distinct states
+// found, K states left on queue" lines.
+type Progress struct {
+	// DistinctStates is the number of distinct (fingerprint-deduplicated)
+	// states discovered so far. For stateless search it counts raw visits.
+	DistinctStates int
+	// QueueLen is the current BFS frontier size (states awaiting expansion
+	// plus states discovered for the next level). Zero for walk modes.
+	QueueLen int
+	// Transitions is the number of successor states generated (including
+	// duplicates).
+	Transitions int64
+	// DedupHits is the number of successors discarded because their
+	// canonical fingerprint was already visited.
+	DedupHits int64
+	// Depth is the current BFS level (walk modes: the walk index).
+	Depth int
+	// StatesPerSec is the distinct-state throughput over the reporting
+	// window (not the whole run), the quantity behind the paper's 10^9
+	// states/machine-day headline.
+	StatesPerSec float64
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Final marks the last report of a run (emitted unconditionally).
+	Final bool
+}
+
+// DedupRatio is the fraction of generated successors that were duplicates.
+func (p Progress) DedupRatio() float64 {
+	if p.Transitions == 0 {
+		return 0
+	}
+	return float64(p.DedupHits) / float64(p.Transitions)
+}
+
+// String renders the TLC-style progress line.
+func (p Progress) String() string {
+	return fmt.Sprintf("progress(%d): %d distinct states, queue %d, %d transitions, dedup %.1f%%, %.0f states/s, elapsed %s",
+		p.Depth, p.DistinctStates, p.QueueLen, p.Transitions, 100*p.DedupRatio(), p.StatesPerSec, p.Elapsed.Round(time.Millisecond))
+}
+
+// ProgressFunc receives progress snapshots during a run.
+type ProgressFunc func(Progress)
+
+// PrintProgress returns a ProgressFunc writing TLC-style lines to w.
+func PrintProgress(w io.Writer) ProgressFunc {
+	return func(p Progress) { fmt.Fprintln(w, p.String()) }
+}
+
+// StderrProgress is the default progress printer.
+func StderrProgress() ProgressFunc { return PrintProgress(os.Stderr) }
+
+// Reporter throttles progress callbacks to a time interval and/or a
+// distinct-state-count cadence. It is not concurrency-safe: the explorer
+// drives it from its serial merge loop. The zero Interval/EveryStates
+// disable the corresponding trigger; with both zero every Maybe call emits.
+type Reporter struct {
+	fn          ProgressFunc
+	interval    time.Duration
+	everyStates int
+	now         func() time.Time
+
+	start      time.Time
+	lastEmit   time.Time
+	lastStates int
+}
+
+// NewReporter builds a reporter invoking fn at most once per interval or
+// per everyStates newly discovered distinct states (whichever fires first).
+// A nil fn yields a reporter whose methods no-op.
+func NewReporter(fn ProgressFunc, interval time.Duration, everyStates int) *Reporter {
+	return newReporter(fn, interval, everyStates, time.Now)
+}
+
+// NewReporterClock is NewReporter with an injectable clock, for tests.
+func NewReporterClock(fn ProgressFunc, interval time.Duration, everyStates int, now func() time.Time) *Reporter {
+	return newReporter(fn, interval, everyStates, now)
+}
+
+func newReporter(fn ProgressFunc, interval time.Duration, everyStates int, now func() time.Time) *Reporter {
+	r := &Reporter{fn: fn, interval: interval, everyStates: everyStates, now: now}
+	r.start = now()
+	r.lastEmit = r.start
+	return r
+}
+
+// Due reports whether the cadence has elapsed for the given distinct-state
+// count. The explorer calls this from its merge loop; it costs one clock
+// read when a time interval is configured.
+func (r *Reporter) Due(distinct int) bool {
+	if r == nil || r.fn == nil {
+		return false
+	}
+	if r.everyStates > 0 && distinct-r.lastStates >= r.everyStates {
+		return true
+	}
+	if r.interval > 0 && r.now().Sub(r.lastEmit) >= r.interval {
+		return true
+	}
+	return r.everyStates == 0 && r.interval == 0
+}
+
+// Emit fills the rate/elapsed fields of p and delivers it, resetting the
+// cadence. Call after Due returns true, or unconditionally for the final
+// report (set p.Final).
+func (r *Reporter) Emit(p Progress) {
+	if r == nil || r.fn == nil {
+		return
+	}
+	t := r.now()
+	p.Elapsed = t.Sub(r.start)
+	if window := t.Sub(r.lastEmit); window > 0 {
+		p.StatesPerSec = float64(p.DistinctStates-r.lastStates) / window.Seconds()
+	}
+	r.lastEmit = t
+	r.lastStates = p.DistinctStates
+	r.fn(p)
+}
+
+// Maybe emits p when the cadence is due. Returns true when it emitted.
+func (r *Reporter) Maybe(p Progress) bool {
+	if !r.Due(p.DistinctStates) {
+		return false
+	}
+	r.Emit(p)
+	return true
+}

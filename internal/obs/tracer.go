@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one structured observability event, written as a single JSON
+// line. It records what a layer actually did — a replayed engine step, a
+// vnet send/deliver/drop, a node crash/restart, a virtual-clock advance, a
+// BFS level, a walk step — so an implementation-level replay leaves a
+// replayable, diffable record alongside the specification trace (the raw
+// material trace-validation work such as "Validating Traces of Distributed
+// Programs Against TLA+ Specifications" builds on).
+type Event struct {
+	// Seq is a per-tracer monotonic sequence number (assigned on emit).
+	Seq int64 `json:"seq"`
+	// Layer names the emitting subsystem: "engine", "vnet", "replay",
+	// "spec", "conformance".
+	Layer string `json:"layer"`
+	// Kind is the event kind within the layer, e.g. "DeliverMessage",
+	// "send", "clock-advance", "level", "diverge".
+	Kind string `json:"kind"`
+	// Node is the primary node (-1 when not node-scoped).
+	Node int `json:"node"`
+	// Peer is the counterpart node, when any.
+	Peer int `json:"peer,omitempty"`
+	// Index selects a buffered message, when relevant.
+	Index int `json:"index,omitempty"`
+	// Detail carries free-form key/value context (payload, durations,
+	// error text).
+	Detail map[string]string `json:"detail,omitempty"`
+}
+
+// Tracer writes events as JSON lines to a sink. It is concurrency-safe and
+// nil-safe: a nil *Tracer accepts Emit calls as no-ops, so layers emit
+// unconditionally. The first write error is latched and reported by Err;
+// later emits are dropped.
+type Tracer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	seq int64
+	err error
+}
+
+// NewTracer builds a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit assigns the next sequence number and writes the event. No-op on a
+// nil tracer or after a write error.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	e.Seq = t.seq
+	t.err = t.enc.Encode(e)
+}
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Flush drains the buffer to the underlying writer and returns the first
+// error encountered (emit or flush). Call before closing the sink.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.w.Flush()
+	return t.err
+}
+
+// Err returns the latched write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// ReadEvents parses a JSONL event stream back into events — the round-trip
+// used by tests and by external diffing tools.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	return out, nil
+}

@@ -7,8 +7,11 @@ package replay
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"github.com/sandtable-go/sandtable/internal/engine"
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/trace"
 )
 
@@ -81,6 +84,14 @@ type Options struct {
 	// Observe overrides how implementation variables are collected
 	// (defaults to Cluster.ObserveAll).
 	Observe func(*engine.Cluster) (map[string]string, error)
+	// Tracer, when set, is installed on the cluster for the duration of
+	// the replay (engine + vnet events) and additionally receives
+	// replay-layer events: one "step" per converted event and a final
+	// "conform" or "diverge" verdict with the diffing variables.
+	Tracer *obs.Tracer
+	// Metrics, when set, is installed on the cluster and receives
+	// replay.steps / replay.divergences counters.
+	Metrics *obs.Registry
 }
 
 // Run replays a trace against the cluster.
@@ -89,21 +100,44 @@ func Run(t *trace.Trace, c *engine.Cluster, opts Options) (*Result, error) {
 	if observe == nil {
 		observe = func(c *engine.Cluster) (map[string]string, error) { return c.ObserveAll() }
 	}
+	if opts.Tracer != nil {
+		c.SetTracer(opts.Tracer)
+	}
+	if opts.Metrics != nil {
+		c.SetMetrics(opts.Metrics)
+	}
+	steps := opts.Metrics.Counter("replay.steps")
+	divergences := opts.Metrics.Counter("replay.divergences")
 	ignored := make(map[string]bool, len(opts.IgnoreVars))
 	for _, k := range opts.IgnoreVars {
 		ignored[k] = true
 	}
 	res := &Result{}
+	diverge := func(sr *StepResult) {
+		res.Divergence = sr
+		divergences.Inc()
+		if opts.Tracer != nil {
+			detail := map[string]string{"step": strconv.Itoa(sr.Step + 1), "event": sr.Event.String()}
+			if sr.Err != nil {
+				detail["error"] = sr.Err.Error()
+			}
+			if len(sr.DiffKeys) > 0 {
+				detail["diff_keys"] = strings.Join(sr.DiffKeys, ",")
+			}
+			opts.Tracer.Emit(obs.Event{Layer: "replay", Kind: "diverge", Node: sr.Event.Node, Detail: detail})
+		}
+	}
 	for i, step := range t.Steps {
 		cmd, ok := Convert(step.Event)
 		if !ok {
 			continue
 		}
 		res.Steps++
+		steps.Inc()
 		sr := &StepResult{Step: i, Event: step.Event}
 		if err := c.Apply(cmd); err != nil {
 			sr.Err = err
-			res.Divergence = sr
+			diverge(sr)
 			return res, nil
 		}
 		compare := opts.CompareEachStep || i == len(t.Steps)-1
@@ -117,10 +151,16 @@ func Run(t *trace.Trace, c *engine.Cluster, opts Options) (*Result, error) {
 				sr.DiffKeys = diff
 				sr.SpecVars = step.Vars
 				sr.ImplVars = impl
-				res.Divergence = sr
+				diverge(sr)
 				return res, nil
 			}
 		}
+	}
+	if opts.Tracer != nil {
+		opts.Tracer.Emit(obs.Event{
+			Layer: "replay", Kind: "conform", Node: -1,
+			Detail: map[string]string{"steps": strconv.Itoa(res.Steps)},
+		})
 	}
 	return res, nil
 }

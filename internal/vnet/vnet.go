@@ -17,6 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+
+	"github.com/sandtable-go/sandtable/internal/obs"
 )
 
 // Semantics selects the transport failure model.
@@ -45,11 +48,27 @@ type Frame struct {
 }
 
 // Stats counts network activity for observation and leak checking.
+//
+// Ownership contract: the counters are plain ints deliberately — a Network
+// is owned by exactly one goroutine (the deterministic engine's command
+// loop; determinism *requires* serial execution), every mutation happens on
+// that goroutine, and Stats() hands callers an independent copy by value.
+// Concurrent readers that need live counters (an expvar endpoint watching a
+// run) must not reach into the Network; they read the obs-backed mirror
+// installed with SetMetrics, whose counters are atomics updated alongside
+// these fields.
 type Stats struct {
 	Sent       int
 	Delivered  int
 	Dropped    int // includes partition-cleared and send-while-disconnected
 	Duplicated int
+}
+
+// metrics mirrors Stats into an obs registry; nil handles no-op, so the
+// mutation paths update them unconditionally.
+type metrics struct {
+	sent, delivered, dropped, duplicated *obs.Counter
+	buffered                             *obs.Gauge
 }
 
 type pair struct{ src, dst int }
@@ -62,6 +81,9 @@ type Network struct {
 	cut       map[pair]bool // severed ordered pairs (partition or crash)
 	stats     Stats
 	seq       int
+
+	m      metrics     // obs-backed mirror of stats (atomic, nil-safe)
+	tracer *obs.Tracer // structured event sink (nil-safe)
 }
 
 // New builds a proxy for n nodes with the given semantics.
@@ -80,8 +102,44 @@ func (nw *Network) N() int { return nw.n }
 // Semantics returns the transport model.
 func (nw *Network) Semantics() Semantics { return nw.semantics }
 
-// Stats returns the activity counters.
+// Stats returns a copy of the activity counters (see the Stats ownership
+// contract).
 func (nw *Network) Stats() Stats { return nw.stats }
+
+// SetMetrics installs an obs-backed mirror of the Stats counters (keys
+// vnet.sent, vnet.delivered, vnet.dropped, vnet.duplicated and the
+// vnet.buffered gauge) so network activity appears in metrics snapshots. A
+// nil registry uninstalls the mirror.
+func (nw *Network) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		nw.m = metrics{}
+		return
+	}
+	nw.m = metrics{
+		sent:       reg.Counter("vnet.sent"),
+		delivered:  reg.Counter("vnet.delivered"),
+		dropped:    reg.Counter("vnet.dropped"),
+		duplicated: reg.Counter("vnet.duplicated"),
+		buffered:   reg.Gauge("vnet.buffered"),
+	}
+}
+
+// SetTracer installs a structured event sink: send/deliver/drop/duplicate
+// and partition/heal/crash/restart events are emitted as they happen.
+func (nw *Network) SetTracer(t *obs.Tracer) { nw.tracer = t }
+
+// drop records n dropped frames in both the plain stats and the mirror.
+func (nw *Network) drop(n int) {
+	nw.stats.Dropped += n
+	nw.m.dropped.Add(int64(n))
+}
+
+func (nw *Network) emit(kind string, src, dst, index int, detail map[string]string) {
+	if nw.tracer == nil {
+		return
+	}
+	nw.tracer.Emit(obs.Event{Layer: "vnet", Kind: kind, Node: dst, Peer: src, Index: index, Detail: detail})
+}
 
 // Connected reports whether the ordered pair src→dst can currently carry
 // traffic.
@@ -95,13 +153,17 @@ func (nw *Network) Connected(src, dst int) bool {
 // channel).
 func (nw *Network) Send(src, dst int, payload []byte) {
 	nw.stats.Sent++
+	nw.m.sent.Inc()
 	if !nw.Connected(src, dst) {
-		nw.stats.Dropped++
+		nw.drop(1)
+		nw.emit("send-dropped", src, dst, 0, map[string]string{"bytes": strconv.Itoa(len(payload))})
 		return
 	}
 	nw.seq++
 	p := pair{src, dst}
 	nw.queues[p] = append(nw.queues[p], Frame{Src: src, Dst: dst, Payload: append([]byte(nil), payload...), Seq: nw.seq})
+	nw.m.buffered.Add(1)
+	nw.emit("send", src, dst, len(nw.queues[p])-1, map[string]string{"seq": strconv.Itoa(nw.seq), "bytes": strconv.Itoa(len(payload))})
 }
 
 // Len reports the number of buffered messages src→dst.
@@ -142,6 +204,9 @@ func (nw *Network) Deliver(src, dst, index int) (Frame, error) {
 	f := q[index]
 	nw.queues[p] = append(q[:index:index], q[index+1:]...)
 	nw.stats.Delivered++
+	nw.m.delivered.Inc()
+	nw.m.buffered.Add(-1)
+	nw.emit("deliver", src, dst, index, map[string]string{"seq": strconv.Itoa(f.Seq)})
 	return f, nil
 }
 
@@ -155,8 +220,11 @@ func (nw *Network) Drop(src, dst, index int) error {
 	if index < 0 || index >= len(q) {
 		return fmt.Errorf("vnet: no message %d->%d at index %d", src, dst, index)
 	}
+	seq := q[index].Seq
 	nw.queues[p] = append(q[:index:index], q[index+1:]...)
-	nw.stats.Dropped++
+	nw.drop(1)
+	nw.m.buffered.Add(-1)
+	nw.emit("drop", src, dst, index, map[string]string{"seq": strconv.Itoa(seq)})
 	return nil
 }
 
@@ -175,6 +243,9 @@ func (nw *Network) Duplicate(src, dst, index int) error {
 	dup := Frame{Src: src, Dst: dst, Payload: append([]byte(nil), q[index].Payload...), Seq: nw.seq}
 	nw.queues[p] = append(q, dup)
 	nw.stats.Duplicated++
+	nw.m.duplicated.Inc()
+	nw.m.buffered.Add(1)
+	nw.emit("duplicate", src, dst, index, map[string]string{"seq": strconv.Itoa(nw.seq)})
 	return nil
 }
 
@@ -182,16 +253,19 @@ func (nw *Network) Duplicate(src, dst, index int) error {
 // in-flight buffers are cleared, and no traffic flows until Heal (§A.3).
 func (nw *Network) Partition(a, b int) {
 	for _, p := range []pair{{a, b}, {b, a}} {
-		nw.stats.Dropped += len(nw.queues[p])
+		nw.drop(len(nw.queues[p]))
+		nw.m.buffered.Add(-int64(len(nw.queues[p])))
 		delete(nw.queues, p)
 		nw.cut[p] = true
 	}
+	nw.emit("partition", a, b, 0, nil)
 }
 
 // Heal restores connectivity between a and b.
 func (nw *Network) Heal(a, b int) {
 	delete(nw.cut, pair{a, b})
 	delete(nw.cut, pair{b, a})
+	nw.emit("heal", a, b, 0, nil)
 }
 
 // CrashNode severs and clears every connection involving the node (a node
@@ -202,11 +276,13 @@ func (nw *Network) CrashNode(node int) {
 			continue
 		}
 		for _, p := range []pair{{node, other}, {other, node}} {
-			nw.stats.Dropped += len(nw.queues[p])
+			nw.drop(len(nw.queues[p]))
+			nw.m.buffered.Add(-int64(len(nw.queues[p])))
 			delete(nw.queues, p)
 			nw.cut[p] = true
 		}
 	}
+	nw.emit("crash-node", -1, node, 0, nil)
 }
 
 // RestartNode re-establishes the node's connections except those severed by
@@ -222,6 +298,7 @@ func (nw *Network) RestartNode(node int, partitioned func(a, b int) bool) {
 		delete(nw.cut, pair{node, other})
 		delete(nw.cut, pair{other, node})
 	}
+	nw.emit("restart-node", -1, node, 0, nil)
 }
 
 // Channels lists the ordered pairs with buffered traffic, sorted, for

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Runs BenchmarkTable3Exploration (the guard benchmark for explorer hot-path
+# changes, e.g. observability instrumentation) and writes BENCH_explorer.json
+# with the raw `go test -bench` lines plus parsed ns/op numbers.
+#
+# Usage: scripts/bench.sh [count]   (default: 3 runs per benchmark)
+set -eu
+
+cd "$(dirname "$0")/.."
+COUNT="${1:-3}"
+OUT=BENCH_explorer.json
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench BenchmarkTable3Exploration -benchmem -count "$COUNT" . | tee "$RAW"
+
+# Render the raw lines into a small JSON report.
+awk -v count="$COUNT" '
+BEGIN { print "{"; printf "  \"benchmark\": \"BenchmarkTable3Exploration\",\n  \"count\": %d,\n  \"runs\": [\n", count }
+/^Benchmark/ {
+    ns = b = a = sps = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        else if ($i == "B/op") b = $(i - 1)
+        else if ($i == "allocs/op") a = $(i - 1)
+        else if ($i == "states/s") sps = $(i - 1)
+    }
+    sep = (n++ ? ",\n" : "")
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $1, $2, ns, sps, b, a
+}
+END { print "\n  ]\n}" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
