@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench clean
+.PHONY: all build vet test race fuzz ci bench clean
 
 all: ci
 
@@ -16,9 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate every change must pass: compile, static checks, and the
-# full test suite under the race detector.
-ci: build vet race
+# fuzz runs a short coverage-guided smoke over the virtual network's queue
+# operations (send/deliver/drop/duplicate against a model oracle).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/vnet/ -fuzz FuzzQueueOps -fuzztime $(FUZZTIME)
+
+# ci is the gate every change must pass: compile, static checks, the full
+# test suite under the race detector, and a short fuzz smoke.
+ci: build vet race fuzz
 
 # bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
 # (see scripts/bench.sh for the JSON shape).

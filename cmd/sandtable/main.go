@@ -23,6 +23,7 @@ import (
 
 	"github.com/sandtable-go/sandtable/internal/bugdb"
 	"github.com/sandtable-go/sandtable/internal/conformance"
+	"github.com/sandtable-go/sandtable/internal/engine"
 	"github.com/sandtable-go/sandtable/internal/explorer"
 	"github.com/sandtable-go/sandtable/internal/integrations"
 	"github.com/sandtable-go/sandtable/internal/obs"
@@ -31,6 +32,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/sandtable"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
+	"github.com/sandtable-go/sandtable/internal/vos"
 )
 
 func main() {
@@ -78,6 +80,7 @@ type sessionFlags struct {
 	timeouts *int
 	requests *int
 	crashes  *int
+	dirty    *int
 	buffer   *int
 	deadline *time.Duration
 }
@@ -91,9 +94,38 @@ func addSessionFlags(fs *flag.FlagSet) *sessionFlags {
 		timeouts: fs.Int("max-timeouts", 0, "override MaxTimeouts budget"),
 		requests: fs.Int("max-requests", 0, "override MaxRequests budget"),
 		crashes:  fs.Int("max-crashes", -1, "override MaxCrashes budget"),
+		dirty:    fs.Int("max-dirty-crashes", 0, "override MaxDirtyCrashes budget (crash-consistency faults losing unsynced writes)"),
 		buffer:   fs.Int("max-buffer", 0, "override MaxBuffer budget"),
 		deadline: fs.Duration("deadline", 2*time.Minute, "model checking deadline"),
 	}
+}
+
+// panicFlags configure the engine's graceful-degradation policy for node
+// panics during implementation-level replay.
+type panicFlags struct {
+	tolerate    *bool
+	maxRestarts *int
+	mode        *string
+}
+
+func addPanicFlags(fs *flag.FlagSet) *panicFlags {
+	return &panicFlags{
+		tolerate:    fs.Bool("tolerate-panics", false, "convert node panics into an injected crash+restart instead of aborting the run"),
+		maxRestarts: fs.Int("max-auto-restarts", 2, "per-node bound on automatic restarts after tolerated panics"),
+		mode:        fs.String("panic-crash-mode", "clean", "store outcome applied on a tolerated panic: clean, lose-unsynced, or torn-batch"),
+	}
+}
+
+func (p *panicFlags) apply(c *engine.Cluster) {
+	if !*p.tolerate {
+		return
+	}
+	c.SetPanicPolicy(engine.PanicPolicy{
+		Tolerate:        true,
+		MaxAutoRestarts: *p.maxRestarts,
+		Mode:            vos.CrashMode(*p.mode),
+		Backoff:         50 * time.Millisecond,
+	})
 }
 
 // obsFlags are the observability flags shared by the long-running
@@ -242,6 +274,9 @@ func (f *sessionFlags) session() (*sandtable.SandTable, error) {
 	if *f.crashes >= 0 {
 		budget.MaxCrashes = *f.crashes
 	}
+	if *f.dirty > 0 {
+		budget.MaxDirtyCrashes = *f.dirty
+	}
 	if *f.buffer > 0 {
 		budget.MaxBuffer = *f.buffer
 	}
@@ -313,6 +348,7 @@ func runReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	sf := addSessionFlags(fs)
 	of := addObsFlags(fs)
+	pf := addPanicFlags(fs)
 	file := fs.String("trace", "", "trace JSON written by `sandtable check -o`")
 	fs.Parse(args)
 	if *file == "" {
@@ -341,6 +377,7 @@ func runReplay(args []string) error {
 		o.close(nil)
 		return err
 	}
+	pf.apply(cluster)
 	res, err := replay.ConfirmBug(tr, cluster, replay.Options{
 		IgnoreVars: st.Sys.IgnoreVars, Observe: st.Sys.Observe,
 		Tracer: o.tracer, Metrics: o.reg,
@@ -424,6 +461,7 @@ func runRank(args []string) error {
 	lighter.Name = base.Name + "-light"
 	lighter.MaxTimeouts = max(1, base.MaxTimeouts-2)
 	lighter.MaxCrashes = 0
+	lighter.MaxDirtyCrashes = 0
 	budgets = append(budgets, lighter, base.Double())
 	r := st.Rank(configs, budgets, ranking.Options{WalksPerPair: *walks, Seed: 1})
 	fmt.Print(r.Format())
@@ -475,6 +513,7 @@ func runConfirm(args []string) error {
 	fs := flag.NewFlagSet("confirm", flag.ExitOnError)
 	sf := addSessionFlags(fs)
 	of := addObsFlags(fs)
+	pf := addPanicFlags(fs)
 	fs.Parse(args)
 
 	st, err := sf.session()
@@ -509,6 +548,7 @@ func runConfirm(args []string) error {
 		o.close(summary)
 		return err
 	}
+	pf.apply(cluster)
 	conf, err := replay.ConfirmBug(v.Trace, cluster, replay.Options{
 		IgnoreVars: st.Sys.IgnoreVars, Observe: st.Sys.Observe,
 		Tracer: o.tracer, Metrics: o.reg,
@@ -535,6 +575,11 @@ func runList() error {
 		fmt.Printf("  %-11s defects:", name)
 		for _, b := range bugdb.ForSystem(name) {
 			fmt.Printf(" %s", b.ID)
+		}
+		for _, b := range bugdb.Extensions {
+			if b.System == name {
+				fmt.Printf(" %s (extension)", b.ID)
+			}
 		}
 		fmt.Println()
 	}

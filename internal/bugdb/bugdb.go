@@ -62,6 +62,23 @@ const (
 	ZabVoteOrder Key = "zabkeeper.vote-order" // #1 (ZOOKEEPER-1419 analogue)
 )
 
+// Extension defects beyond the paper's Table 2. These are reachable only
+// under the crash-consistency fault model (spec.Budget.MaxDirtyCrashes > 0
+// plus a buffered engine store), so they are NOT part of Catalog,
+// ForSystem, or the All/Verification bug sets — enable them explicitly
+// with Set.With or the CLI's -bug flag.
+const (
+	// GSOUnsyncedLog: persistLog writes the log without fsync; a dirty
+	// crash between the write and the next hard-state sync loses committed
+	// entries (LogDurability violation).
+	GSOUnsyncedLog Key = "gosyncobj.unsynced-log" // GoSyncObj#6 (extension)
+)
+
+// Extensions lists the extension rows in the Table 2 format.
+var Extensions = []Info{
+	{ID: "GoSyncObj#6", PaperID: "-", System: "gosyncobj", Key: GSOUnsyncedLog, Stage: StageVerification, Status: "New", Consequence: "Committed log entries lost by a dirty crash", Invariant: "LogDurability"},
+}
+
 // Set is the collection of defects enabled in a build of a system. The
 // paper's workflow checks the buggy build, confirms bugs, then validates the
 // fixed build.
@@ -161,9 +178,14 @@ func ForSystem(system string) []Info {
 	return out
 }
 
-// ByID returns the catalog row with the given ID.
+// ByID returns the catalog (or extension) row with the given ID.
 func ByID(id string) (Info, bool) {
 	for _, b := range Catalog {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	for _, b := range Extensions {
 		if b.ID == id {
 			return b, true
 		}
@@ -190,6 +212,11 @@ func Upstream(system string) []Key {
 // StageOf reports the workflow stage at which a defect key was found.
 func StageOf(k Key) Stage {
 	for _, b := range Catalog {
+		if b.Key == k {
+			return b.Stage
+		}
+	}
+	for _, b := range Extensions {
 		if b.Key == k {
 			return b.Stage
 		}

@@ -76,6 +76,32 @@ type Config struct {
 	// provide timeout values when converting trace events (§3.2).
 	Timeouts map[string]time.Duration
 	Cost     CostModel
+	// Buffered gives every node a buffered store (vos.NewBufferedStore):
+	// Persist writes stay volatile until the process calls Env.Sync, so
+	// dirty-crash commands (trace.EvCrashDirty) can lose or tear the
+	// unsynced tail. False keeps the legacy auto-sync stores, under which
+	// dirty crashes degenerate to clean ones.
+	Buffered bool
+}
+
+// PanicPolicy configures graceful degradation for node panics. With Tolerate
+// unset (the default) a panic surfaces as a *CrashError from Apply, aborting
+// the run. With Tolerate set, the engine converts the panic into an injected
+// crash — applying Mode to the node's store — and, while the node's
+// auto-restart budget lasts, immediately restarts it from durable state
+// after charging an exponentially growing backoff to the simulated cost.
+type PanicPolicy struct {
+	// Tolerate turns panics into injected crash(+restart) instead of errors.
+	Tolerate bool
+	// MaxAutoRestarts bounds automatic restarts per node; once exhausted the
+	// node stays down (the run still completes).
+	MaxAutoRestarts int
+	// Mode is the vos.CrashMode applied to the panicking node's store
+	// (empty = vos.CrashClean, preserving all buffered writes).
+	Mode vos.CrashMode
+	// Backoff is the base restart delay; restart k of a node charges
+	// Backoff<<k of simulated time. Zero means no backoff accounting.
+	Backoff time.Duration
 }
 
 // CrashError reports that a node process panicked while handling an event —
@@ -106,6 +132,16 @@ type Cluster struct {
 	up     []bool
 
 	partitions map[[2]int]bool
+
+	// faultRng is the dedicated deterministic stream for fault-injection
+	// choices (torn-batch cut points). It is separate from the per-node
+	// rngs so adding faults never perturbs node behaviour, and it is a pure
+	// function of the seed so two runs with the same seed pick identical
+	// cuts — the byte-identical durable-state guarantee confirm relies on.
+	faultRng *rand.Rand
+
+	panicPolicy  PanicPolicy
+	autoRestarts []int
 
 	events  int
 	simCost time.Duration
@@ -139,6 +175,10 @@ func NewCluster(cfg Config, factory func(id int) vos.Process) (*Cluster, error) 
 		procs:      make([]vos.Process, cfg.Nodes),
 		up:         make([]bool, cfg.Nodes),
 		partitions: make(map[[2]int]bool),
+		// 0x5ab1e mixes the seed so the fault stream differs from every
+		// per-node stream (seeded cfg.Seed + i*7919).
+		faultRng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5ab1e)),
+		autoRestarts: make([]int, cfg.Nodes),
 	}
 	c.simCost += cfg.Cost.ClusterInit
 	c.netVarKeys = make([][]string, cfg.Nodes)
@@ -154,7 +194,11 @@ func NewCluster(cfg Config, factory func(id int) vos.Process) (*Cluster, error) 
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.clocks[i] = vos.NewClock()
-		c.stores[i] = vos.NewStore()
+		if cfg.Buffered {
+			c.stores[i] = vos.NewBufferedStore()
+		} else {
+			c.stores[i] = vos.NewStore()
+		}
 		c.logs[i] = &vos.LogBuffer{}
 		c.rngs[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		if err := c.startNode(i); err != nil {
@@ -256,6 +300,8 @@ func (c *Cluster) Apply(cmd Command) error {
 		return c.request(cmd)
 	case trace.EvCrash:
 		return c.crash(cmd.Node)
+	case trace.EvCrashDirty:
+		return c.crashDirty(cmd)
 	case trace.EvRestart:
 		return c.restart(cmd.Node)
 	case trace.EvPartition:
@@ -341,12 +387,64 @@ func (c *Cluster) crash(node int) error {
 	if !c.up[node] {
 		return fmt.Errorf("engine: node %d already crashed", node)
 	}
-	// SIGQUIT semantics: no cleanup runs; volatile state is lost, durable
-	// store and captured logs survive; all connections break.
+	// Legacy atomic-durability semantics: everything the node persisted
+	// survives, so a buffered journal is flushed before the lights go out.
+	c.stores[node].Crash(vos.CrashClean, 0)
+	c.downNode(node)
+	return nil
+}
+
+// crashDirty crashes a node under the crash-consistency fault model: the
+// command payload selects the vos.CrashMode deciding the fate of the node's
+// unsynced write journal. Torn crashes draw the cut point from the
+// deterministic fault stream, so the same seed always persists the same
+// prefix.
+func (c *Cluster) crashDirty(cmd Command) error {
+	node := cmd.Node
+	if err := c.guard(node); err != nil {
+		return err
+	}
+	if !c.up[node] {
+		return fmt.Errorf("engine: node %d already crashed", node)
+	}
+	mode := vos.CrashMode(cmd.Payload)
+	if mode == "" {
+		mode = vos.CrashLoseUnsynced
+	}
+	switch mode {
+	case vos.CrashClean, vos.CrashLoseUnsynced, vos.CrashTorn:
+	default:
+		return fmt.Errorf("engine: unknown crash mode %q", cmd.Payload)
+	}
+	unsynced := c.stores[node].Unsynced()
+	cut := 0
+	if mode == vos.CrashTorn {
+		cut = c.faultRng.Intn(unsynced + 1)
+	}
+	c.stores[node].Crash(mode, cut)
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{
+			Layer: "engine", Kind: "dirty-crash", Node: node,
+			Detail: map[string]string{
+				"mode":     string(mode),
+				"unsynced": strconv.Itoa(unsynced),
+				"cut":      strconv.Itoa(cut),
+			},
+		})
+	}
+	c.metrics.Counter("engine.faults.dirty_crashes").Inc()
+	c.metrics.Counter("engine.faults.crash_mode." + string(mode)).Inc()
+	c.downNode(node)
+	return nil
+}
+
+// downNode takes a running node off the cluster with SIGQUIT semantics: no
+// cleanup runs; volatile state is lost, durable store and captured logs
+// survive; all connections break.
+func (c *Cluster) downNode(node int) {
 	c.procs[node] = nil
 	c.up[node] = false
 	c.net.CrashNode(node)
-	return nil
 }
 
 func (c *Cluster) restart(node int) error {
@@ -397,7 +495,10 @@ func pairKey(a, b int) [2]int {
 }
 
 // invoke runs fn on the node's process, converting panics into CrashError
-// and crashing the node (matching a real unhandled exception).
+// and crashing the node (matching a real unhandled exception). Under a
+// tolerant PanicPolicy the error is swallowed: the panic becomes an injected
+// crash (with the policy's CrashMode applied to the store) followed, budget
+// permitting, by an automatic restart from durable state.
 func (c *Cluster) invoke(cmd Command, node int, fn func(vos.Process)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -409,13 +510,72 @@ func (c *Cluster) invoke(cmd Command, node int, fn func(vos.Process)) (err error
 				})
 			}
 			c.metrics.Counter("engine.node_panics").Inc()
-			c.procs[node] = nil
-			c.up[node] = false
-			c.net.CrashNode(node)
+			mode := vos.CrashClean
+			if c.panicPolicy.Tolerate && c.panicPolicy.Mode != "" {
+				mode = c.panicPolicy.Mode
+			}
+			cut := 0
+			if mode == vos.CrashTorn {
+				cut = c.faultRng.Intn(c.stores[node].Unsynced() + 1)
+			}
+			c.stores[node].Crash(mode, cut)
+			c.downNode(node)
+			if c.panicPolicy.Tolerate {
+				err = c.autoRestart(node, mode)
+			}
 		}
 	}()
 	fn(c.procs[node])
 	return nil
+}
+
+// autoRestart implements the tolerant half of PanicPolicy: record the
+// injected fault, and bring the node back from durable state while its
+// restart budget lasts, charging an exponentially growing backoff.
+func (c *Cluster) autoRestart(node int, mode vos.CrashMode) error {
+	c.metrics.Counter("engine.faults.panics_tolerated").Inc()
+	c.metrics.Counter("engine.faults.crash_mode." + string(mode)).Inc()
+	attempt := c.autoRestarts[node]
+	if attempt >= c.panicPolicy.MaxAutoRestarts {
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{
+				Layer: "engine", Kind: "auto-restart-exhausted", Node: node,
+				Detail: map[string]string{"attempts": strconv.Itoa(attempt)},
+			})
+		}
+		return nil // node stays down; the run continues
+	}
+	c.autoRestarts[node] = attempt + 1
+	if c.panicPolicy.Backoff > 0 {
+		backoff := c.panicPolicy.Backoff << uint(attempt)
+		c.simCost += backoff
+		c.clocks[node].Advance(backoff)
+	}
+	c.metrics.Counter("engine.faults.auto_restarts").Inc()
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{
+			Layer: "engine", Kind: "auto-restart", Node: node,
+			Detail: map[string]string{"attempt": strconv.Itoa(attempt + 1), "mode": string(mode)},
+		})
+	}
+	return c.restart(node)
+}
+
+// SetPanicPolicy installs the graceful-degradation policy for node panics.
+// The zero value restores the default fail-fast behaviour.
+func (c *Cluster) SetPanicPolicy(p PanicPolicy) { c.panicPolicy = p }
+
+// DumpDurable renders every node's crash-durable store contents as one
+// canonical byte string (per-node sections in node order). Byte-for-byte
+// equality across two runs proves they produced the identical persistence
+// outcome — the confirmation check for dirty-crash determinism.
+func (c *Cluster) DumpDurable() []byte {
+	var b []byte
+	for i, s := range c.stores {
+		b = append(b, fmt.Sprintf("-- node %d --\n", i)...)
+		b = append(b, s.DumpDurable()...)
+	}
+	return b
 }
 
 // nodeEnv implements vos.Env for one node.
@@ -450,3 +610,7 @@ func (e *nodeEnv) Connected(to int) bool {
 
 func (e *nodeEnv) Persist(key string, value []byte) { e.c.stores[e.id].Persist(key, value) }
 func (e *nodeEnv) Load(key string) ([]byte, bool)   { return e.c.stores[e.id].Load(key) }
+func (e *nodeEnv) Sync() {
+	e.c.metrics.Counter("engine.syncs").Inc()
+	e.c.stores[e.id].Sync()
+}

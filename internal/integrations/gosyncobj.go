@@ -30,6 +30,10 @@ func init() {
 				// Table 4: PySyncObj averaged ~1.8 s per replayed trace with
 				// a sleepless driver — dominated by cluster initialisation.
 				Cost: costModel(1600*time.Millisecond, 5*time.Millisecond),
+				// Buffered stores: gosyncobj distinguishes write from fsync
+				// (persistHard/persistLog call Env.Sync), so dirty crashes
+				// can exercise its durability handling.
+				Buffered: true,
 			}, func(id int) vos.Process { return sysgso.New(bugs) })
 		},
 	})

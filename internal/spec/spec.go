@@ -117,7 +117,12 @@ type Budget struct {
 	MaxDuplicates  int
 	MaxBuffer      int
 	MaxCompactions int
-	MaxDepth       int
+	// MaxDirtyCrashes bounds crash-consistency faults (NodeCrashDirty):
+	// crashes that lose or tear the node's unsynced writes instead of
+	// preserving durable state atomically. Zero disables the fault model,
+	// leaving the legacy atomic-durability crash semantics.
+	MaxDirtyCrashes int
+	MaxDepth        int
 }
 
 // Map renders the budget as the generic config map recorded in traces.
@@ -130,9 +135,10 @@ func (b Budget) Map() map[string]int {
 		"MaxPartitions":  b.MaxPartitions,
 		"MaxDrops":       b.MaxDrops,
 		"MaxDuplicates":  b.MaxDuplicates,
-		"MaxBuffer":      b.MaxBuffer,
-		"MaxCompactions": b.MaxCompactions,
-		"MaxDepth":       b.MaxDepth,
+		"MaxBuffer":       b.MaxBuffer,
+		"MaxCompactions":  b.MaxCompactions,
+		"MaxDirtyCrashes": b.MaxDirtyCrashes,
+		"MaxDepth":        b.MaxDepth,
 	}
 }
 
@@ -150,6 +156,7 @@ func (b Budget) Double() Budget {
 	d.MaxDuplicates *= 2
 	d.MaxBuffer *= 2
 	d.MaxCompactions *= 2
+	d.MaxDirtyCrashes *= 2
 	if b.MaxDepth > 0 {
 		d.MaxDepth = b.MaxDepth * 2
 	}
@@ -168,6 +175,8 @@ type Counters struct {
 	Drops       int
 	Duplicates  int
 	Compactions int
+	// DirtyCrashes counts crash-consistency faults taken (NodeCrashDirty).
+	DirtyCrashes int
 }
 
 // Hash mixes the counters into a state fingerprint.
@@ -181,12 +190,13 @@ func (c *Counters) Hash(h *fp.Hasher) {
 	h.WriteInt(c.Drops)
 	h.WriteInt(c.Duplicates)
 	h.WriteInt(c.Compactions)
+	h.WriteInt(c.DirtyCrashes)
 }
 
 // Vars renders the counters for conformance output.
 func (c *Counters) Vars(m map[string]string) {
-	m["counters"] = fmt.Sprintf("timeouts=%d crashes=%d restarts=%d requests=%d partitions=%d drops=%d dups=%d",
-		c.Timeouts, c.Crashes, c.Restarts, c.Requests, c.Partitions, c.Drops, c.Duplicates)
+	m["counters"] = fmt.Sprintf("timeouts=%d crashes=%d restarts=%d requests=%d partitions=%d drops=%d dups=%d dirty=%d",
+		c.Timeouts, c.Crashes, c.Restarts, c.Requests, c.Partitions, c.Drops, c.Duplicates, c.DirtyCrashes)
 }
 
 // CanTimeout etc. report whether the corresponding budget still has room.
@@ -198,6 +208,11 @@ func (c *Counters) CanPartition(b Budget) bool { return c.Partitions < b.MaxPart
 func (c *Counters) CanDrop(b Budget) bool      { return c.Drops < b.MaxDrops }
 func (c *Counters) CanDuplicate(b Budget) bool { return c.Duplicates < b.MaxDuplicates }
 func (c *Counters) CanCompact(b Budget) bool   { return c.Compactions < b.MaxCompactions }
+
+// CanDirtyCrash reports whether another crash-consistency fault fits the
+// budget (dirty crashes also consume the ordinary crash budget, so a spec
+// should check both).
+func (c *Counters) CanDirtyCrash(b Budget) bool { return c.DirtyCrashes < b.MaxDirtyCrashes }
 
 // Violation is the standard auxiliary variable specs use to flag
 // action-property violations (e.g. "match index is not monotonic", which is

@@ -91,6 +91,30 @@ func (m *Machine) PermutedFingerprint(st spec.State, perm []int) uint64 {
 	h.WriteString(s.LastReadVal)
 	h.WriteString(s.LastReadWant)
 	h.WriteBool(s.LastReadBad)
+	// Durability mirrors, matching State.Fingerprint's gated section.
+	if s.durability {
+		h.WriteInt(n)
+		for j := 0; j < n; j++ {
+			h.WriteInt(s.DurTerm[inv[j]])
+		}
+		h.WriteInt(n)
+		for j := 0; j < n; j++ {
+			v := s.DurVote[inv[j]]
+			if v >= 0 {
+				v = perm[v]
+			}
+			h.WriteInt(v)
+		}
+		for j := 0; j < n; j++ {
+			log := s.DurLog[inv[j]]
+			h.Sep()
+			h.WriteInt(len(log))
+			for _, e := range log {
+				h.WriteInt(e.Term)
+				h.WriteString(e.Value)
+			}
+		}
+	}
 	s.Counters.Hash(h)
 	s.Viol.Hash(h)
 	return h.Sum()

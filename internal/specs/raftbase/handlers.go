@@ -6,6 +6,33 @@ import (
 	"github.com/sandtable-go/sandtable/internal/bugdb"
 )
 
+// syncDurable is the specification-level fsync: everything node i has
+// written so far (term, vote, log) becomes crash-durable. The
+// implementations persist hard state (term/vote) synchronously, and a sync
+// flushes the whole write journal, so any earlier unsynced log write
+// becomes durable here too — which is why the mirror copies all three.
+// No-op unless the budget enables the durability fault model.
+func (m *Machine) syncDurable(s *State, i int) {
+	if !s.durability {
+		return
+	}
+	s.DurTerm[i] = s.Term[i]
+	s.DurVote[i] = s.VotedFor[i]
+	s.DurLog[i] = append([]Entry(nil), s.Log[i]...)
+}
+
+// persistLog mirrors the implementations' log-persistence path: write the
+// log and fsync. Under the unsynced-log defect (GoSyncObj#6) the write is
+// buffered but never synced, so the durable mirrors do not advance — the
+// log write sits in the journal until a later hard-state sync flushes it,
+// and a dirty crash in between loses it.
+func (m *Machine) persistLog(s *State, i int) {
+	if m.opt.Profile == GoSyncObj && m.bug(bugdb.GSOUnsyncedLog) {
+		return
+	}
+	m.syncDurable(s, i)
+}
+
 // electionTimeout fires the election timer of non-leader node i: it starts
 // a (pre-)election, mirroring the implementations' Tick paths.
 func (m *Machine) electionTimeout(s *State, i int) {
@@ -36,6 +63,7 @@ func (m *Machine) startElection(s *State, i int) {
 	s.PreVotes[i] = nil
 	s.Votes[i] = make([]bool, m.n)
 	s.Votes[i][i] = true
+	m.syncDurable(s, i) // implementations persist hard state before campaigning
 	for p := 0; p < m.n; p++ {
 		if p == i {
 			continue
@@ -79,6 +107,7 @@ func (m *Machine) stepDown(s *State, i, term int) {
 	s.PreVotes[i] = nil
 	s.Next[i] = nil
 	s.Match[i] = nil
+	m.syncDurable(s, i) // the adopted term is persisted synchronously
 }
 
 // yieldToLeader makes a same-term candidate revert to follower while
@@ -152,6 +181,7 @@ func (m *Machine) sendAppend(s *State, i, p int, retry bool) {
 func (m *Machine) clientAppend(s *State, i int, v string) {
 	s.Log[i] = append(s.Log[i], Entry{Term: s.Term[i], Value: v})
 	s.Match[i][i] = s.lastIndex(i)
+	m.persistLog(s, i)
 	if m.opt.Profile == CRaft || m.opt.Profile == AsyncRaft {
 		m.broadcastAppend(s, i)
 	}
@@ -235,6 +265,7 @@ func (m *Machine) compactLog(s *State, i int) {
 	s.SnapTerm[i] = s.logTerm(i, c)
 	s.Log[i] = append([]Entry(nil), s.Log[i][c-s.SnapIdx[i]:]...)
 	s.SnapIdx[i] = c
+	m.syncDurable(s, i) // snapshotting rewrites the durable log synchronously
 }
 
 // extendCommitted grows the ghost committed prefix after node i's commit
@@ -265,6 +296,7 @@ func (m *Machine) handleRequestVote(s *State, dst, src int, msg Msg) {
 	granted := msg.Term == s.Term[dst] && (s.VotedFor[dst] == -1 || s.VotedFor[dst] == src) && upToDate
 	if granted {
 		s.VotedFor[dst] = src
+		m.syncDurable(s, dst) // the vote is persisted before it is answered
 	}
 	s.send(dst, src, Msg{Type: "rvr", Term: s.Term[dst], Granted: granted})
 }
@@ -368,6 +400,7 @@ func (m *Machine) handleAppendEntries(s *State, dst, src int, msg Msg) {
 		}
 		s.Log[dst] = append(s.Log[dst], e)
 	}
+	m.persistLog(s, dst)
 
 	// Commit index update.
 	var leaderCommit int
@@ -502,6 +535,7 @@ func (m *Machine) handleSnapshot(s *State, dst, src int, msg Msg) {
 		s.Log[dst] = nil
 		s.SnapIdx[dst] = msg.SnapIndex
 		s.SnapTerm[dst] = msg.SnapTerm
+		m.syncDurable(s, dst) // snapshot installation is synchronously durable
 		if msg.SnapIndex > s.Commit[dst] {
 			s.Commit[dst] = msg.SnapIndex
 			m.extendCommitted(s, dst)

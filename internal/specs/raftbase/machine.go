@@ -71,6 +71,7 @@ func (m *Machine) Init() []spec.State {
 	s := newState(m.n)
 	s.snapshots = m.opt.Snapshots
 	s.kv = m.opt.KV
+	s.durability = m.opt.Budget.MaxDirtyCrashes > 0
 	return []spec.State{s}
 }
 
@@ -158,6 +159,17 @@ func (m *Machine) Next(st spec.State) []spec.Succ {
 			n.Counters.Crashes++
 			m.crash(n, i)
 			add(trace.Event{Type: trace.EvCrash, Action: "NodeCrash", Node: i}, n)
+		}
+		// Dirty node crash (crash-consistency fault): the unsynced journal
+		// is lost, so recovery sees the durable mirrors, not the live
+		// variables. Consumes the crash budget too, so MaxDirtyCrashes
+		// selects how many of the crashes may be dirty.
+		if s.Counters.CanCrash(b) && s.Counters.CanDirtyCrash(b) {
+			n := s.clone()
+			n.Counters.Crashes++
+			n.Counters.DirtyCrashes++
+			m.crashDirty(n, i)
+			add(trace.Event{Type: trace.EvCrashDirty, Action: "NodeCrashDirty", Node: i, Payload: "lose-unsynced"}, n)
 		}
 	}
 	// Node restart.
@@ -317,6 +329,20 @@ func (m *Machine) crash(s *State, i int) {
 	}
 }
 
+// crashDirty crashes node i losing its unsynced writes: the live durable
+// variables roll back to the Dur* mirrors (what the implementation's store
+// actually holds on disk), then the ordinary crash clears volatile state.
+// Without the durability model (or for Volatile systems, which lose
+// everything anyway) this degenerates to a clean crash.
+func (m *Machine) crashDirty(s *State, i int) {
+	if s.durability {
+		s.Term[i] = s.DurTerm[i]
+		s.VotedFor[i] = s.DurVote[i]
+		s.Log[i] = append([]Entry(nil), s.DurLog[i]...)
+	}
+	m.crash(s, i)
+}
+
 func (m *Machine) restart(s *State, i int) {
 	s.Up[i] = true
 	for j := 0; j < m.n; j++ {
@@ -357,6 +383,9 @@ func (m *Machine) Actions() []string {
 		"HandleRequestVote", "HandleRequestVoteResponse",
 		"HandleAppendEntries", "HandleAppendEntriesResponse",
 		"NodeCrash", "NodeStart",
+	}
+	if m.opt.Budget.MaxDirtyCrashes > 0 {
+		acts = append(acts, "NodeCrashDirty")
 	}
 	if m.opt.KV {
 		acts = append(acts, "ClientPut", "ClientGet")

@@ -104,6 +104,10 @@ type State struct {
 	// variable rendering).
 	snapshots bool
 	kv        bool
+	// durability enables the crash-consistency fault model (set when the
+	// budget allows dirty crashes): the Dur* mirrors below are then
+	// maintained and hashed.
+	durability bool
 
 	Role     []int
 	Term     []int
@@ -119,6 +123,16 @@ type State struct {
 	Match    [][]int
 
 	Up []bool
+
+	// Durability mirrors: what each node's crash-durable storage holds, as
+	// opposed to the live variables above, which may include writes still
+	// in the page cache (written but not fsynced — the implementation's
+	// buffered vos.Store journal). A dirty crash rolls the live state back
+	// to these. Maintained only when durability is set; syncDurable is the
+	// specification-level fsync. DurVote follows VotedFor's -1 convention.
+	DurTerm []int
+	DurVote []int
+	DurLog  [][]Entry
 
 	// Network: Chan[src][dst] is the ordered message buffer; Cut marks
 	// severed ordered pairs (crash or partition); Part marks active
@@ -171,6 +185,12 @@ func newState(n int) *State {
 	for i := range s.Up {
 		s.Up[i] = true
 	}
+	s.DurTerm = make([]int, n)
+	s.DurVote = make([]int, n)
+	for i := range s.DurVote {
+		s.DurVote[i] = -1
+	}
+	s.DurLog = make([][]Entry, n)
 	s.Chan = make([][][]Msg, n)
 	s.Cut = make([][]bool, n)
 	s.Part = make([][]bool, n)
@@ -183,7 +203,7 @@ func newState(n int) *State {
 }
 
 func (s *State) clone() *State {
-	c := &State{n: s.n, snapshots: s.snapshots, kv: s.kv}
+	c := &State{n: s.n, snapshots: s.snapshots, kv: s.kv, durability: s.durability}
 	c.Role = append([]int(nil), s.Role...)
 	c.Term = append([]int(nil), s.Term...)
 	c.VotedFor = append([]int(nil), s.VotedFor...)
@@ -199,6 +219,12 @@ func (s *State) clone() *State {
 	c.Next = cloneIntMatrix(s.Next)
 	c.Match = cloneIntMatrix(s.Match)
 	c.Up = append([]bool(nil), s.Up...)
+	c.DurTerm = append([]int(nil), s.DurTerm...)
+	c.DurVote = append([]int(nil), s.DurVote...)
+	c.DurLog = make([][]Entry, s.n)
+	for i := range s.DurLog {
+		c.DurLog[i] = append([]Entry(nil), s.DurLog[i]...)
+	}
 	c.Chan = make([][][]Msg, s.n)
 	c.Cut = make([][]bool, s.n)
 	c.Part = make([][]bool, s.n)
@@ -290,6 +316,21 @@ func (s *State) Fingerprint() uint64 {
 	h.WriteString(s.LastReadVal)
 	h.WriteString(s.LastReadWant)
 	h.WriteBool(s.LastReadBad)
+	// Durability mirrors are hashed only when the fault model is active, so
+	// instantiations without dirty crashes keep their fingerprints and
+	// hashing cost unchanged.
+	if s.durability {
+		h.WriteInts(s.DurTerm)
+		h.WriteInts(s.DurVote)
+		for i := range s.DurLog {
+			h.Sep()
+			h.WriteInt(len(s.DurLog[i]))
+			for _, e := range s.DurLog[i] {
+				h.WriteInt(e.Term)
+				h.WriteString(e.Value)
+			}
+		}
+	}
 	s.Counters.Hash(h)
 	s.Viol.Hash(h)
 	return h.Sum()
@@ -318,6 +359,13 @@ func hashIntMatrix(h *fp.Hasher, m [][]int) {
 func (s *State) Vars() map[string]string {
 	m := make(map[string]string, 8*s.n)
 	for i := 0; i < s.n; i++ {
+		if s.durability {
+			// Durable-storage view (rendered for crashed nodes too — it is
+			// exactly what a restart would recover).
+			m[fmt.Sprintf("durTerm[%d]", i)] = strconv.Itoa(s.DurTerm[i])
+			m[fmt.Sprintf("durVote[%d]", i)] = strconv.Itoa(s.DurVote[i])
+			m[fmt.Sprintf("durLog[%d]", i)] = formatLog(s.DurLog[i])
+		}
 		if !s.Up[i] {
 			m[fmt.Sprintf("status[%d]", i)] = "crashed"
 			continue
@@ -456,6 +504,7 @@ func (s *State) permute(perm []int) *State {
 	c := newState(s.n)
 	c.snapshots = s.snapshots
 	c.kv = s.kv
+	c.durability = s.durability
 	for i := 0; i < s.n; i++ {
 		pi := perm[i]
 		c.Role[pi] = s.Role[i]
@@ -466,6 +515,13 @@ func (s *State) permute(perm []int) *State {
 			c.VotedFor[pi] = -1
 		}
 		c.Log[pi] = append([]Entry(nil), s.Log[i]...)
+		c.DurTerm[pi] = s.DurTerm[i]
+		if s.DurVote[i] >= 0 {
+			c.DurVote[pi] = perm[s.DurVote[i]]
+		} else {
+			c.DurVote[pi] = -1
+		}
+		c.DurLog[pi] = append([]Entry(nil), s.DurLog[i]...)
 		c.Commit[pi] = s.Commit[i]
 		c.SnapIdx[pi] = s.SnapIdx[i]
 		c.SnapTerm[pi] = s.SnapTerm[i]

@@ -120,8 +120,12 @@ func (n *Node) Start(env vos.Env) {
 	env.Logf("started role=%s term=%d", n.role, n.term)
 }
 
+// persistHard writes and fsyncs the hard state (term, vote). The sync
+// flushes the whole write journal, so a pending unsynced log write becomes
+// durable here too.
 func (n *Node) persistHard() {
 	n.env.Persist("hard", []byte(fmt.Sprintf("%d:%d", n.term, n.votedFor)))
+	n.env.Sync()
 }
 
 func (n *Node) persistLog() {
@@ -130,6 +134,13 @@ func (n *Node) persistLog() {
 		panic(fmt.Sprintf("gosyncobj: marshal log: %v", err))
 	}
 	n.env.Persist("log", b)
+	if n.bugs.Has(bugdb.GSOUnsyncedLog) {
+		// BUG(GoSyncObj#6, extension): the log write is left in the page
+		// cache — no fsync. A dirty crash before the next hard-state sync
+		// loses the entries, even ones the cluster already committed.
+		return
+	}
+	n.env.Sync()
 }
 
 func (n *Node) loadDurable() {

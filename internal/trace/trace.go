@@ -29,7 +29,11 @@ const (
 	EvTimeout   EventType = "Timeout"
 	EvRequest   EventType = "ClientRequest"
 	EvCrash     EventType = "NodeCrash"
-	EvRestart   EventType = "NodeStart"
+	// EvCrashDirty is a crash with realistic durability: the payload names
+	// the vos.CrashMode ("lose-unsynced" or "torn-batch") deciding the fate
+	// of the node's unsynced write journal.
+	EvCrashDirty EventType = "NodeCrashDirty"
+	EvRestart    EventType = "NodeStart"
 	EvPartition EventType = "NetworkPartition"
 	EvRecover   EventType = "NetworkRecover"
 	EvDrop      EventType = "MessageDrop"
@@ -69,6 +73,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " n%d %q", e.Node, e.Payload)
 	case EvCrash, EvRestart:
 		fmt.Fprintf(&b, " n%d", e.Node)
+	case EvCrashDirty:
+		fmt.Fprintf(&b, " n%d %s", e.Node, e.Payload)
 	case EvPartition, EvRecover:
 		fmt.Fprintf(&b, " n%d|n%d", e.Node, e.Peer)
 	case EvDrop, EvDuplicate:

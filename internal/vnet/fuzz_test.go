@@ -1,0 +1,126 @@
+package vnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzQueueOps drives a Network through an arbitrary interleaving of
+// send/deliver/drop/duplicate/partition/heal/crash/restart operations
+// decoded from the fuzz input. The oracle is a naive per-pair slice model:
+// after every operation the real queues must match the model exactly, every
+// rejected operation must leave state untouched, and the buffered-frame
+// accounting (Len/TotalBuffered/Stats) must stay consistent. Run via
+// `make fuzz` (a short -fuzztime smoke wired into `make ci`).
+func FuzzQueueOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 1, 0, 4, 1})
+	f.Add([]byte{0, 0, 2, 0, 0, 3, 0, 0, 1, 0, 0})
+	f.Add([]byte{0, 2, 5, 0, 1, 6, 2, 0, 1, 0, 7, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 3
+		nw := New(n, UDP)
+		model := map[pair][][]byte{}
+		cut := map[pair]bool{}
+		modelTotal := func() int {
+			total := 0
+			for _, q := range model {
+				total += len(q)
+			}
+			return total
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 8
+			src := int(data[i+1]) % n
+			dst := (src + 1 + int(data[i+1])/n%(n-1)) % n
+			idx := int(data[i+2])
+			p := pair{src, dst}
+			switch op {
+			case 0: // send
+				payload := []byte{data[i+2]}
+				nw.Send(src, dst, payload)
+				if !cut[p] {
+					model[p] = append(model[p], payload)
+				}
+			case 1: // deliver
+				fr, err := nw.Deliver(src, dst, idx)
+				if idx < len(model[p]) {
+					if err != nil {
+						t.Fatalf("deliver %d->%d[%d]: %v", src, dst, idx, err)
+					}
+					if !bytes.Equal(fr.Payload, model[p][idx]) {
+						t.Fatalf("deliver %d->%d[%d] = %q, model %q", src, dst, idx, fr.Payload, model[p][idx])
+					}
+					model[p] = append(model[p][:idx], model[p][idx+1:]...)
+				} else if err == nil {
+					t.Fatalf("deliver %d->%d[%d] accepted beyond %d buffered", src, dst, idx, len(model[p]))
+				}
+			case 2: // drop
+				err := nw.Drop(src, dst, idx)
+				if idx < len(model[p]) {
+					if err != nil {
+						t.Fatalf("drop %d->%d[%d]: %v", src, dst, idx, err)
+					}
+					model[p] = append(model[p][:idx], model[p][idx+1:]...)
+				} else if err == nil {
+					t.Fatalf("drop %d->%d[%d] accepted beyond %d buffered", src, dst, idx, len(model[p]))
+				}
+			case 3: // duplicate
+				err := nw.Duplicate(src, dst, idx)
+				if idx < len(model[p]) {
+					if err != nil {
+						t.Fatalf("duplicate %d->%d[%d]: %v", src, dst, idx, err)
+					}
+					model[p] = append(model[p], append([]byte(nil), model[p][idx]...))
+				} else if err == nil {
+					t.Fatalf("duplicate %d->%d[%d] accepted beyond %d buffered", src, dst, idx, len(model[p]))
+				}
+			case 4: // partition
+				nw.Partition(src, dst)
+				for _, q := range []pair{{src, dst}, {dst, src}} {
+					delete(model, q)
+					cut[q] = true
+				}
+			case 5: // heal
+				nw.Heal(src, dst)
+				delete(cut, pair{src, dst})
+				delete(cut, pair{dst, src})
+			case 6: // crash node
+				nw.CrashNode(src)
+				for other := 0; other < n; other++ {
+					if other == src {
+						continue
+					}
+					for _, q := range []pair{{src, other}, {other, src}} {
+						delete(model, q)
+						cut[q] = true
+					}
+				}
+			case 7: // restart node (no partitions tracked beyond cut map)
+				nw.RestartNode(src, func(a, b int) bool { return false })
+				for other := 0; other < n; other++ {
+					if other == src {
+						continue
+					}
+					delete(cut, pair{src, other})
+					delete(cut, pair{other, src})
+				}
+			}
+			// Accounting invariants after every op.
+			for q, frames := range model {
+				if nw.Len(q.src, q.dst) != len(frames) {
+					t.Fatalf("Len(%d,%d) = %d, model %d", q.src, q.dst, nw.Len(q.src, q.dst), len(frames))
+				}
+			}
+			if nw.TotalBuffered() != modelTotal() {
+				t.Fatalf("TotalBuffered = %d, model %d", nw.TotalBuffered(), modelTotal())
+			}
+		}
+		// Channels must come back sorted by sequence number.
+		frames := nw.Channels()
+		for i := 1; i < len(frames); i++ {
+			if frames[i-1].Seq >= frames[i].Seq {
+				t.Fatalf("Channels not strictly ordered by Seq at %d: %d >= %d", i, frames[i-1].Seq, frames[i].Seq)
+			}
+		}
+	})
+}

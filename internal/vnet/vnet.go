@@ -218,7 +218,7 @@ func (nw *Network) Drop(src, dst, index int) error {
 	p := pair{src, dst}
 	q := nw.queues[p]
 	if index < 0 || index >= len(q) {
-		return fmt.Errorf("vnet: no message %d->%d at index %d", src, dst, index)
+		return fmt.Errorf("vnet: no message %d->%d at index %d (buffered %d)", src, dst, index, len(q))
 	}
 	seq := q[index].Seq
 	nw.queues[p] = append(q[:index:index], q[index+1:]...)
@@ -237,7 +237,7 @@ func (nw *Network) Duplicate(src, dst, index int) error {
 	p := pair{src, dst}
 	q := nw.queues[p]
 	if index < 0 || index >= len(q) {
-		return fmt.Errorf("vnet: no message %d->%d at index %d", src, dst, index)
+		return fmt.Errorf("vnet: no message %d->%d at index %d (buffered %d)", src, dst, index, len(q))
 	}
 	nw.seq++
 	dup := Frame{Src: src, Dst: dst, Payload: append([]byte(nil), q[index].Payload...), Seq: nw.seq}

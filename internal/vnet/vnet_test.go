@@ -2,6 +2,7 @@ package vnet
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -183,5 +184,62 @@ func TestChannelsSortedBySeq(t *testing.T) {
 		if ch[i].Seq <= ch[i-1].Seq {
 			t.Error("channels not sorted by sequence")
 		}
+	}
+}
+
+// TestStaleIndexAfterDrop exercises the trap ISSUE targets: a Drop shrinks
+// the queue, so an index computed before it can be stale. Every queue op
+// must reject the out-of-range index with a diagnostic that reports the
+// remaining buffer length instead of panicking or acting on a wrong frame.
+func TestStaleIndexAfterDrop(t *testing.T) {
+	n := New(2, UDP)
+	n.Send(0, 1, []byte("a"))
+	n.Send(0, 1, []byte("b"))
+	if err := n.Drop(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Index 1 referred to "b" before the drop; now only "a" remains.
+	if _, err := n.Deliver(0, 1, 1); err == nil {
+		t.Error("Deliver with stale index should fail")
+	} else if !strings.Contains(err.Error(), "(buffered 1)") {
+		t.Errorf("Deliver error %q should report buffered length", err)
+	}
+	if err := n.Drop(0, 1, 1); err == nil {
+		t.Error("Drop with stale index should fail")
+	} else if !strings.Contains(err.Error(), "(buffered 1)") {
+		t.Errorf("Drop error %q should report buffered length", err)
+	}
+	if err := n.Duplicate(0, 1, 1); err == nil {
+		t.Error("Duplicate with stale index should fail")
+	} else if !strings.Contains(err.Error(), "(buffered 1)") {
+		t.Errorf("Duplicate error %q should report buffered length", err)
+	}
+	// The surviving frame is untouched by the failed operations.
+	if n.Len(0, 1) != 1 {
+		t.Fatalf("buffered = %d, want 1", n.Len(0, 1))
+	}
+	f, err := n.Deliver(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Payload) != "a" {
+		t.Errorf("delivered %q, want %q", f.Payload, "a")
+	}
+}
+
+func TestNegativeIndexRejected(t *testing.T) {
+	n := New(2, UDP)
+	n.Send(0, 1, []byte("a"))
+	if _, err := n.Deliver(0, 1, -1); err == nil {
+		t.Error("Deliver with negative index should fail")
+	}
+	if err := n.Drop(0, 1, -1); err == nil {
+		t.Error("Drop with negative index should fail")
+	}
+	if err := n.Duplicate(0, 1, -1); err == nil {
+		t.Error("Duplicate with negative index should fail")
+	}
+	if _, err := n.Peek(0, 1, -1); err == nil {
+		t.Error("Peek with negative index should fail")
 	}
 }

@@ -1,0 +1,179 @@
+package vos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBufferedWritesVolatileUntilSync(t *testing.T) {
+	s := NewBufferedStore()
+	if !s.Buffered() {
+		t.Fatal("NewBufferedStore must report Buffered")
+	}
+	s.Persist("k", []byte("v1"))
+	if got, ok := s.Load("k"); !ok || string(got) != "v1" {
+		t.Fatalf("read-your-writes before sync: %q, %v", got, ok)
+	}
+	if s.Unsynced() != 1 {
+		t.Fatalf("unsynced = %d, want 1", s.Unsynced())
+	}
+	s.Crash(CrashLoseUnsynced, 0)
+	if _, ok := s.Load("k"); ok {
+		t.Fatal("unsynced write survived a dirty crash")
+	}
+
+	s.Persist("k", []byte("v2"))
+	s.Sync()
+	if s.Unsynced() != 0 {
+		t.Fatalf("unsynced after sync = %d", s.Unsynced())
+	}
+	s.Crash(CrashLoseUnsynced, 0)
+	if got, ok := s.Load("k"); !ok || string(got) != "v2" {
+		t.Fatalf("synced write lost by dirty crash: %q, %v", got, ok)
+	}
+}
+
+func TestCleanCrashFlushesJournal(t *testing.T) {
+	s := NewBufferedStore()
+	s.Persist("k", []byte("v"))
+	s.Crash(CrashClean, 0)
+	if got, ok := s.Load("k"); !ok || string(got) != "v" {
+		t.Fatalf("clean crash must preserve buffered writes: %q, %v", got, ok)
+	}
+}
+
+func TestTornBatchAppliesPrefix(t *testing.T) {
+	s := NewBufferedStore()
+	s.Persist("a", []byte("1"))
+	s.Persist("b", []byte("2"))
+	s.Persist("c", []byte("3"))
+	s.Crash(CrashTorn, 2)
+	for k, want := range map[string]bool{"a": true, "b": true, "c": false} {
+		_, ok := s.Load(k)
+		if ok != want {
+			t.Errorf("after torn cut 2: key %q present=%v, want %v", k, ok, want)
+		}
+	}
+	// Cut beyond the journal is clamped, not a panic.
+	s.Persist("d", []byte("4"))
+	s.Crash(CrashTorn, 99)
+	if _, ok := s.Load("d"); !ok {
+		t.Error("clamped torn cut should have applied the whole journal")
+	}
+}
+
+func TestWriteBatchCommitAndTorn(t *testing.T) {
+	s := NewBufferedStore()
+	wb := s.Batch()
+	wb.Put("x", []byte("1"))
+	wb.Put("y", []byte("2"))
+	if wb.Len() != 2 {
+		t.Fatalf("batch len = %d", wb.Len())
+	}
+	// Nothing visible before Commit.
+	if _, ok := s.Load("x"); ok {
+		t.Fatal("batched write visible before Commit")
+	}
+	wb.Commit()
+	if wb.Len() != 0 {
+		t.Fatal("Commit must clear the batch")
+	}
+	if got, _ := s.Load("y"); string(got) != "2" {
+		t.Fatal("committed batch not readable")
+	}
+	// The committed batch is still unsynced: a torn crash can keep a prefix.
+	if s.Unsynced() != 2 {
+		t.Fatalf("unsynced = %d, want 2", s.Unsynced())
+	}
+	s.Crash(CrashTorn, 1)
+	if _, ok := s.Load("x"); !ok {
+		t.Error("torn prefix should retain first batched write")
+	}
+	if _, ok := s.Load("y"); ok {
+		t.Error("torn crash should lose the batch suffix")
+	}
+}
+
+// TestUnbufferedBatchIsAtomic checks that on an auto-sync store a batch
+// commit is durable immediately (legacy semantics preserved).
+func TestUnbufferedBatchIsAtomic(t *testing.T) {
+	s := NewStore()
+	wb := s.Batch()
+	wb.Put("x", []byte("1"))
+	wb.Commit()
+	if s.Unsynced() != 0 {
+		t.Fatalf("unsynced = %d on auto-sync store", s.Unsynced())
+	}
+	s.Crash(CrashLoseUnsynced, 0)
+	if _, ok := s.Load("x"); !ok {
+		t.Fatal("auto-sync store lost a committed batch")
+	}
+}
+
+// TestBufferedAliasing extends the aliasing contract to the journal path:
+// neither slices handed to Persist/Put nor slices returned by Load may
+// share memory with store internals.
+func TestBufferedAliasing(t *testing.T) {
+	s := NewBufferedStore()
+	val := []byte("hello")
+	s.Persist("k", val)
+	val[0] = 'X' // mutate after journalling
+	if got, _ := s.Load("k"); string(got) != "hello" {
+		t.Fatalf("journal aliases caller memory: %q", got)
+	}
+	got, _ := s.Load("k")
+	got[0] = 'Y' // mutate the returned copy
+	if again, _ := s.Load("k"); string(again) != "hello" {
+		t.Fatal("Load returns aliased journal memory")
+	}
+	s.Sync()
+	if after, _ := s.Load("k"); string(after) != "hello" {
+		t.Fatalf("sync applied corrupted value: %q", after)
+	}
+
+	bval := []byte("batch")
+	wb := s.Batch()
+	wb.Put("b", bval)
+	bval[0] = 'Z' // mutate between Put and Commit
+	wb.Commit()
+	if got, _ := s.Load("b"); string(got) != "batch" {
+		t.Fatalf("WriteBatch aliases caller memory: %q", got)
+	}
+}
+
+func TestLenCountsJournalKeysOnce(t *testing.T) {
+	s := NewBufferedStore()
+	s.Persist("a", []byte("1"))
+	s.Persist("a", []byte("2")) // same key twice in the journal
+	s.Persist("b", []byte("3"))
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	s.Sync()
+	if s.Len() != 2 {
+		t.Fatalf("len after sync = %d, want 2", s.Len())
+	}
+	if got, _ := s.Load("a"); string(got) != "2" {
+		t.Fatalf("last write wins violated: %q", got)
+	}
+}
+
+func TestDumpDurableDeterministic(t *testing.T) {
+	s := NewBufferedStore()
+	s.Persist("b", []byte{0x02})
+	s.Persist("a", []byte{0x01})
+	s.Sync()
+	s.Persist("c", []byte{0x03}) // unsynced: must not appear
+	d := s.DumpDurable()
+	if !bytes.Equal(d, s.DumpDurable()) {
+		t.Fatal("DumpDurable not deterministic")
+	}
+	txt := string(d)
+	if strings.Contains(txt, "c=") {
+		t.Fatalf("unsynced key in durable dump:\n%s", txt)
+	}
+	if strings.Index(txt, "a=") > strings.Index(txt, "b=") {
+		t.Fatalf("durable dump not key-sorted:\n%s", txt)
+	}
+}
