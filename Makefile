@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz ci bench clean
+.PHONY: all build vet test race fuzz docs ci bench clean
 
 all: ci
 
@@ -22,9 +22,15 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/vnet/ -fuzz FuzzQueueOps -fuzztime $(FUZZTIME)
 
-# ci is the gate every change must pass: compile, static checks, the full
-# test suite under the race detector, and a short fuzz smoke.
-ci: build vet race fuzz
+# docs is the documentation gate: gofmt cleanliness, go vet, doc comments
+# on every exported identifier in the audited packages, and unbroken
+# relative links in the *.md files (see scripts/checkdocs.sh).
+docs:
+	./scripts/checkdocs.sh
+
+# ci is the gate every change must pass: compile, static checks, the docs
+# gate, the full test suite under the race detector, and a short fuzz smoke.
+ci: build vet docs race fuzz
 
 # bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
 # (see scripts/bench.sh for the JSON shape).

@@ -11,6 +11,7 @@ package sandtable_bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -80,9 +81,20 @@ func BenchmarkTable2Bugs(b *testing.B) {
 // BenchmarkTable3Exploration measures each system's bug-fixed exploration
 // throughput over a capped prefix of its experiment-#1 space (the full
 // exhaustive runs are `cmd/experiments -table 3`; capping keeps the whole
-// benchmark suite inside the default go-test timeout).
+// benchmark suite inside the default go-test timeout). Each system runs at
+// three worker counts — 1, 4, and NumCPU ("max") — so BENCH_explorer.json
+// tracks both single-worker probe-table speed and the scaling of the
+// concurrent probe-and-insert fingerprint set.
 func BenchmarkTable3Exploration(b *testing.B) {
 	cfg := spec.Config{Name: "n3w2", Nodes: 3, Workload: []string{"v1", "v2"}}
+	workerRuns := []struct {
+		label   string
+		workers int
+	}{
+		{"w1", 1},
+		{"w4", 4},
+		{"wmax", runtime.NumCPU()},
+	}
 	for _, name := range experiments.Systems {
 		name := name
 		b.Run(name, func(b *testing.B) {
@@ -90,16 +102,25 @@ func BenchmarkTable3Exploration(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var perSec float64
-			for i := 0; i < b.N; i++ {
-				st := sandtable.New(sys, cfg, experiments.Exp1Budget(name), bugdb.NoBugs())
-				res := st.Check(explorer.Options{Symmetry: true, StopAtFirstViolation: true, MaxStates: 120_000})
-				if v := res.FirstViolation(); v != nil {
-					b.Fatalf("bug-fixed spec violated %s: %v", v.Invariant, v.Err)
-				}
-				perSec = res.StatesPerSecond()
+			for _, wr := range workerRuns {
+				wr := wr
+				b.Run(wr.label, func(b *testing.B) {
+					var perSec float64
+					for i := 0; i < b.N; i++ {
+						st := sandtable.New(sys, cfg, experiments.Exp1Budget(name), bugdb.NoBugs())
+						res := st.Check(explorer.Options{
+							Symmetry: true, StopAtFirstViolation: true,
+							MaxStates: 120_000, Workers: wr.workers,
+						})
+						if v := res.FirstViolation(); v != nil {
+							b.Fatalf("bug-fixed spec violated %s: %v", v.Invariant, v.Err)
+						}
+						perSec = res.StatesPerSecond()
+					}
+					b.ReportMetric(perSec, "states/s")
+					b.ReportMetric(float64(wr.workers), "workers")
+				})
 			}
-			b.ReportMetric(perSec, "states/s")
 		})
 	}
 }

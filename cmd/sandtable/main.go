@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -222,6 +223,20 @@ func (s *obsSession) close(result map[string]any) error {
 	return firstErr
 }
 
+// checkLabel identifies the model a snapshot belongs to —
+// system/config/budget plus the sorted defect set — so a checkpoint written
+// under one session setup refuses to resume under another.
+func checkLabel(st *sandtable.SandTable) string {
+	var bugs []string
+	for k, on := range st.SpecBugs {
+		if on {
+			bugs = append(bugs, string(k))
+		}
+	}
+	sort.Strings(bugs)
+	return fmt.Sprintf("%s/%s/%s/%s", st.Sys.Name, st.Config.Name, st.Budget.Name, strings.Join(bugs, ","))
+}
+
 // resultSummary renders an explorer result for the metrics JSON, echoing
 // the registry key names so downstream tooling reads one vocabulary.
 func resultSummary(res *explorer.Result) map[string]any {
@@ -237,6 +252,8 @@ func resultSummary(res *explorer.Result) map[string]any {
 		"stop_reason":     res.StopReason,
 		"exhausted":       res.Exhausted,
 		"violations":      len(res.Violations),
+		"resumed":         res.Resumed,
+		"checkpoints":     res.Checkpoints,
 	}
 	if v := res.FirstViolation(); v != nil {
 		out["first_violation"] = v.String()
@@ -288,10 +305,18 @@ func runCheck(args []string) error {
 	sf := addSessionFlags(fs)
 	of := addObsFlags(fs)
 	workers := fs.Int("workers", 0, "BFS workers (0 = NumCPU)")
+	fpShards := fs.Int("fpset-shards", 0, "fingerprint-set shard count, rounded up to a power of two (0 = automatic, sized from GOMAXPROCS)")
+	ckDir := fs.String("checkpoint", "", "write periodic exploration snapshots to this directory (enables checkpointing)")
+	ckEvery := fs.Duration("checkpoint-every", 0, "minimum wall-clock time between snapshots (default 60s once -checkpoint is set)")
+	ckStates := fs.Int("checkpoint-states", 0, "also snapshot every N newly discovered distinct states")
+	resume := fs.Bool("resume", false, "resume from the snapshot in the -checkpoint directory instead of starting fresh")
 	showTrace := fs.Bool("trace", true, "print the counterexample trace")
 	out := fs.String("o", "", "write the counterexample trace as JSON (replay it with `sandtable replay -trace <file>`)")
 	fs.Parse(args)
 
+	if *resume && *ckDir == "" {
+		return fmt.Errorf("check: -resume requires -checkpoint <dir>")
+	}
 	st, err := sf.session()
 	if err != nil {
 		return err
@@ -303,6 +328,16 @@ func runCheck(args []string) error {
 	opts := explorer.DefaultOptions()
 	opts.Deadline = *sf.deadline
 	opts.Workers = *workers
+	opts.FPSetShards = *fpShards
+	if *ckDir != "" {
+		opts.Checkpoint = explorer.CheckpointOptions{
+			Dir:         *ckDir,
+			Interval:    *ckEvery,
+			EveryStates: *ckStates,
+			Resume:      *resume,
+			Label:       checkLabel(st),
+		}
+	}
 	opts.Progress = o.progress
 	opts.ProgressInterval = o.interval
 	opts.Metrics = o.reg
@@ -311,10 +346,20 @@ func runCheck(args []string) error {
 	stopExplore := o.reg.StartPhase("explore")
 	res := st.Check(opts)
 	stopExplore()
+	if res.Err != nil {
+		o.close(resultSummary(res))
+		return res.Err
+	}
 
+	if res.Resumed {
+		fmt.Printf("resumed from %s\n", *ckDir)
+	}
 	fmt.Printf("explored %d distinct states (max depth %d) in %s — %.0f states/s, dedup %.1f%% (%d hits), peak queue %d, stop: %s\n",
 		res.DistinctStates, res.MaxDepth, res.Duration.Round(time.Millisecond), res.StatesPerSecond(),
 		100*res.DedupRatio(), res.DedupHits, res.MaxQueueLen, res.StopReason)
+	if res.Checkpoints > 0 {
+		fmt.Printf("%d checkpoint(s) written to %s (resume with -checkpoint %s -resume)\n", res.Checkpoints, *ckDir, *ckDir)
+	}
 	v := res.FirstViolation()
 	if v == nil {
 		fmt.Println("no invariant violation found")
@@ -404,6 +449,7 @@ func runSimulate(args []string) error {
 	walks := fs.Int("walks", 100, "number of random walks")
 	depth := fs.Int("depth", 0, "walk depth bound (0 = until deadlock)")
 	seed := fs.Int64("seed", 1, "base seed")
+	distinct := fs.Bool("distinct", false, "track distinct states across walks in a shared fingerprint set (coverage measurement)")
 	fs.Parse(args)
 
 	st, err := sf.session()
@@ -416,7 +462,8 @@ func runSimulate(args []string) error {
 	}
 	sim := explorer.NewSimulator(st.Machine(), explorer.SimOptions{
 		MaxDepth: *depth, Seed: *seed, CheckInvariants: true,
-		Progress: o.progress, ProgressInterval: o.interval,
+		TrackDistinct: *distinct,
+		Progress:      o.progress, ProgressInterval: o.interval,
 		Metrics: o.reg, Tracer: o.tracer,
 	})
 	stopSim := o.reg.StartPhase("simulate")
@@ -425,6 +472,11 @@ func runSimulate(args []string) error {
 	agg := explorer.Aggregate(results)
 	fmt.Printf("walks=%d branch-coverage=%d event-diversity=%d max-depth=%d mean-depth=%.1f violations=%d elapsed=%s\n",
 		agg.Walks, agg.BranchCoverage, agg.EventDiversity, agg.MaxDepth, agg.MeanDepth, agg.Violations, agg.TotalElapsed.Round(time.Millisecond))
+	if *distinct {
+		visits := int(agg.MeanDepth*float64(agg.Walks)) + agg.Walks
+		fmt.Printf("distinct states across walks: %d (%.1f%% of ~%d visits fresh)\n",
+			sim.Distinct(), 100*float64(agg.DistinctStates)/float64(max(1, visits)), visits)
+	}
 	for _, w := range results {
 		if w.Violation != nil {
 			fmt.Printf("first violating walk: %v\n", w.Violation)
@@ -438,6 +490,7 @@ func runSimulate(args []string) error {
 		"max_depth":       agg.MaxDepth,
 		"mean_depth":      agg.MeanDepth,
 		"violations":      agg.Violations,
+		"distinct_states": agg.DistinctStates,
 	})
 }
 

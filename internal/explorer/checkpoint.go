@@ -1,0 +1,466 @@
+package explorer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/fp"
+	"github.com/sandtable-go/sandtable/internal/fpset"
+	"github.com/sandtable-go/sandtable/internal/obs"
+)
+
+// CheckpointOptions configures periodic exploration snapshots — the
+// reproduction of TLC's checkpointing, which lets a machine-day-scale run
+// survive interruption. The zero value disables checkpointing.
+//
+// A snapshot is written at BFS level boundaries (where the frontier is
+// well-defined and expansion workers are quiescent) whenever the cadence is
+// due: every Interval of wall-clock time and/or every EveryStates newly
+// discovered distinct states, whichever fires first (both zero with a Dir
+// set defaults to a 60-second interval). The file contains the fingerprint
+// set, the frontier (as fingerprints), and the run's counters, wrapped in a
+// versioned, checksummed envelope and written atomically (temp file +
+// rename), so a crash mid-write never corrupts the previous snapshot.
+//
+// Resume rebuilds the frontier deterministically by guided replay: it
+// re-expands the already-explored interior of the state graph, following
+// only edges recorded in the snapshot's fingerprint set, and verifies the
+// rebuilt frontier matches the snapshot exactly. BFS exploration is
+// deterministic (see the package comment), so a resumed run reports the
+// same distinct-state count and the same counterexample as an uninterrupted
+// run with the same options.
+type CheckpointOptions struct {
+	// Dir is the snapshot directory ("" disables checkpointing). The
+	// current snapshot is Dir/checkpoint.snap.
+	Dir string
+	// Interval is the minimum wall-clock time between snapshots.
+	Interval time.Duration
+	// EveryStates writes a snapshot every N newly discovered states.
+	EveryStates int
+	// Resume loads Dir/checkpoint.snap before exploring and continues from
+	// it. A missing, corrupt, or incompatible snapshot fails the run
+	// (Result.Err) rather than silently starting over.
+	Resume bool
+	// Label identifies the model for compatibility checking, e.g.
+	// "system/config/budget/bugs". A snapshot written under one label
+	// refuses to resume under a different non-empty label. Independently of
+	// the label, resume verifies the machine name, the symmetry setting,
+	// and a digest of the initial states.
+	Label string
+}
+
+func (o *CheckpointOptions) enabled() bool { return o.Dir != "" }
+
+// snapFile is the current snapshot name within CheckpointOptions.Dir.
+const snapFile = "checkpoint.snap"
+
+// snapMagic and snapVersion identify the envelope format. Version bumps
+// whenever the byte layout or header semantics change; old versions are
+// rejected (re-run from scratch rather than risking a wrong resume).
+const (
+	snapMagic   = "SNDTBLCK"
+	snapVersion = 1
+)
+
+// snapshotHeader is the JSON head of a snapshot file: model identity for
+// compatibility checking plus every Result counter needed to continue.
+type snapshotHeader struct {
+	Version        int             `json:"version"`
+	Label          string          `json:"label,omitempty"`
+	Machine        string          `json:"machine"`
+	Symmetry       bool            `json:"symmetry"`
+	InitDigest     uint64          `json:"init_digest"`
+	Depth          int             `json:"depth"`
+	DistinctStates int             `json:"distinct_states"`
+	Transitions    int64           `json:"transitions"`
+	DedupHits      int64           `json:"dedup_hits"`
+	MaxQueueLen    int             `json:"max_queue_len"`
+	MaxDepth       int             `json:"max_depth"`
+	GoalReached    bool            `json:"goal_reached"`
+	ElapsedNs      int64           `json:"elapsed_ns"`
+	Violations     []snapViolation `json:"violations,omitempty"`
+}
+
+// snapViolation persists a violation found before the snapshot (only
+// relevant with StopAtFirstViolation off). The error survives as text.
+type snapViolation struct {
+	Invariant string `json:"invariant"`
+	Error     string `json:"error"`
+	Depth     int    `json:"depth"`
+	FP        uint64 `json:"fp"`
+}
+
+// snapshot is a decoded checkpoint: header, rebuilt frontier, and the
+// restored fingerprint set (already installed into the Checker).
+type snapshot struct {
+	header   snapshotHeader
+	frontier []frontierEntry
+}
+
+func (s *snapshot) violations() []*Violation {
+	var out []*Violation
+	for _, v := range s.header.Violations {
+		out = append(out, &Violation{
+			Invariant: v.Invariant,
+			Err:       errors.New(v.Error),
+			Depth:     v.Depth,
+			fp:        v.FP,
+		})
+	}
+	return out
+}
+
+// initDigest fingerprints the machine's initial states (canonical, sorted
+// by insertion into a running hash of the sorted fingerprint multiset) so a
+// resume under a different configuration, budget, or defect set is caught
+// even when the label matches.
+func (c *Checker) initDigest() uint64 {
+	var fps []uint64
+	for _, s := range c.m.Init() {
+		fps = append(fps, c.canonicalFP(s))
+	}
+	// Order-insensitive combine: initial-state order is an implementation
+	// detail; XOR of per-fp hashes ignores it.
+	h := fp.New()
+	var acc uint64
+	for _, f := range fps {
+		h.Reset()
+		h.WriteUint64(f)
+		acc ^= h.Sum()
+	}
+	return acc
+}
+
+// checkpointer drives the snapshot cadence for one run, reusing the obs
+// reporter clock/cadence machinery (a Reporter with the write callback as
+// its ProgressFunc).
+type checkpointer struct {
+	opts     CheckpointOptions
+	reporter *obs.Reporter
+	metrics  *runMetrics
+	tracer   *obs.Tracer
+}
+
+// newCheckpointer returns nil when checkpointing is disabled.
+func (c *Checker) newCheckpointer(metrics *runMetrics) *checkpointer {
+	o := c.opts.Checkpoint
+	if !o.enabled() {
+		return nil
+	}
+	interval := o.Interval
+	if interval == 0 && o.EveryStates == 0 {
+		interval = 60 * time.Second
+	}
+	ck := &checkpointer{opts: o, metrics: metrics, tracer: c.opts.Tracer}
+	// The ProgressFunc is a sentinel: the reporter is used purely for its
+	// Due/Emit cadence bookkeeping; the snapshot write happens in
+	// maybeWrite between Due and Emit.
+	ck.reporter = obs.NewReporter(func(obs.Progress) {}, interval, o.EveryStates)
+	return ck
+}
+
+// maybeWrite writes a snapshot if the cadence is due. Write failures do not
+// abort the exploration: the error is recorded as a trace event and the run
+// carries on (the previous snapshot, if any, is still intact).
+func (ck *checkpointer) maybeWrite(c *Checker, res *Result, depth int, frontier []frontierEntry, elapsed time.Duration) {
+	if !ck.reporter.Due(res.DistinctStates) {
+		return
+	}
+	var stop func()
+	if c.opts.Metrics != nil {
+		stop = c.opts.Metrics.StartPhase("checkpoint")
+	}
+	err := writeSnapshot(ck.opts, c, res, depth, frontier, elapsed)
+	if stop != nil {
+		stop()
+	}
+	detail := map[string]string{
+		"depth":    fmt.Sprint(depth),
+		"distinct": fmt.Sprint(res.DistinctStates),
+		"frontier": fmt.Sprint(len(frontier)),
+	}
+	if err != nil {
+		detail["error"] = err.Error()
+	} else {
+		res.Checkpoints++
+		if ck.metrics != nil {
+			ck.metrics.checkpoints.Inc()
+		}
+	}
+	ck.tracer.Emit(obs.Event{Layer: "spec", Kind: "checkpoint", Node: -1, Detail: detail})
+	ck.reporter.Emit(obs.Progress{DistinctStates: res.DistinctStates})
+}
+
+// writeSnapshot serialises the run state into Dir/checkpoint.snap via an
+// atomic rename. Layout:
+//
+//	magic[8] version[u32] headerLen[u32] headerJSON
+//	frontierCount[u64] frontierFP[u64]...
+//	fpset stream (see fpset.WriteTo)
+//	crc32[u32] of everything prior (IEEE)
+func writeSnapshot(o CheckpointOptions, c *Checker, res *Result, depth int, frontier []frontierEntry, elapsed time.Duration) error {
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(o.Dir, "checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op after successful rename
+	}()
+
+	hdr := snapshotHeader{
+		Version:        snapVersion,
+		Label:          o.Label,
+		Machine:        c.m.Name(),
+		Symmetry:       c.sym != nil,
+		InitDigest:     c.initDigest(),
+		Depth:          depth,
+		DistinctStates: res.DistinctStates,
+		Transitions:    res.Transitions,
+		DedupHits:      res.DedupHits,
+		MaxQueueLen:    res.MaxQueueLen,
+		MaxDepth:       res.MaxDepth,
+		GoalReached:    res.GoalReached,
+		ElapsedNs:      int64(elapsed),
+	}
+	for _, v := range res.Violations {
+		hdr.Violations = append(hdr.Violations, snapViolation{
+			Invariant: v.Invariant, Error: v.Err.Error(), Depth: v.Depth, FP: v.fp,
+		})
+	}
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(tmp, crc)
+	var scratch [8]byte
+	if _, err := w.Write([]byte(snapMagic)); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], snapVersion)
+	if _, err := w.Write(scratch[:4]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(hb)))
+	if _, err := w.Write(scratch[:4]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hb); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(frontier)))
+	if _, err := w.Write(scratch[:]); err != nil {
+		return err
+	}
+	for _, fe := range frontier {
+		binary.LittleEndian.PutUint64(scratch[:], fe.fp)
+		if _, err := w.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	if _, err := c.visited.WriteTo(w); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
+	if _, err := tmp.Write(scratch[:4]); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(o.Dir, snapFile))
+}
+
+// resume loads Dir/checkpoint.snap, verifies integrity and model
+// compatibility, installs the fingerprint set, and rebuilds the frontier.
+func (c *Checker) resume() error {
+	o := c.opts.Checkpoint
+	path := filepath.Join(o.Dir, snapFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < len(snapMagic)+4+4+8+4 {
+		return fmt.Errorf("%s: truncated snapshot (%d bytes)", path, len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return fmt.Errorf("%s: checksum mismatch (snapshot corrupt)", path)
+	}
+	r := body
+	if string(r[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("%s: not a sandtable checkpoint", path)
+	}
+	r = r[len(snapMagic):]
+	if v := binary.LittleEndian.Uint32(r[:4]); v != snapVersion {
+		return fmt.Errorf("%s: snapshot version %d, this build reads %d", path, v, snapVersion)
+	}
+	r = r[4:]
+	hlen := int(binary.LittleEndian.Uint32(r[:4]))
+	r = r[4:]
+	if hlen > len(r) {
+		return fmt.Errorf("%s: truncated header", path)
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(r[:hlen], &hdr); err != nil {
+		return fmt.Errorf("%s: header: %w", path, err)
+	}
+	r = r[hlen:]
+
+	// Compatibility: the snapshot must describe this exact model.
+	if hdr.Machine != c.m.Name() {
+		return fmt.Errorf("%s: snapshot is for machine %q, this run checks %q", path, hdr.Machine, c.m.Name())
+	}
+	if hdr.Symmetry != (c.sym != nil) {
+		return fmt.Errorf("%s: snapshot symmetry=%v, this run uses %v", path, hdr.Symmetry, c.sym != nil)
+	}
+	if o.Label != "" && hdr.Label != "" && o.Label != hdr.Label {
+		return fmt.Errorf("%s: snapshot label %q, this run is %q", path, hdr.Label, o.Label)
+	}
+	if got := c.initDigest(); got != hdr.InitDigest {
+		return fmt.Errorf("%s: initial-state digest mismatch (different config, budget, or defect set)", path)
+	}
+
+	if len(r) < 8 {
+		return fmt.Errorf("%s: truncated frontier", path)
+	}
+	fcount := binary.LittleEndian.Uint64(r[:8])
+	r = r[8:]
+	if uint64(len(r)) < 8*fcount {
+		return fmt.Errorf("%s: truncated frontier (%d of %d entries)", path, len(r)/8, fcount)
+	}
+	wantFrontier := make(map[uint64]bool, fcount)
+	for i := uint64(0); i < fcount; i++ {
+		wantFrontier[binary.LittleEndian.Uint64(r[:8])] = true
+		r = r[8:]
+	}
+	set, err := fpset.Read(bytes.NewReader(r), c.opts.FPSetShards)
+	if err != nil {
+		return fmt.Errorf("%s: fingerprint set: %w", path, err)
+	}
+	c.visited = set
+
+	frontier, err := c.rebuildFrontier(hdr.Depth, wantFrontier)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	c.restored = &snapshot{header: hdr, frontier: frontier}
+	return nil
+}
+
+// rebuildFrontier re-derives the frontier *states* for the snapshot's
+// frontier fingerprints by guided replay: specification states are not
+// generically serialisable, but exploration is deterministic, so walking
+// the recorded state graph forward from the initial states — expanding only
+// states whose recorded depth matches the replay level — reproduces the
+// frontier exactly. The interior's Next/fingerprint work is re-done; the
+// frontier level and everything beyond it (usually the bulk of an
+// interrupted run) is not.
+func (c *Checker) rebuildFrontier(depth int, want map[uint64]bool) ([]frontierEntry, error) {
+	workers := c.opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// Level 0: the deduplicated initial states.
+	var cur []frontierEntry
+	seen := make(map[uint64]bool)
+	for _, s := range c.m.Init() {
+		f := c.canonicalFP(s)
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		cur = append(cur, frontierEntry{state: s, fp: f})
+	}
+	for d := 1; d <= depth; d++ {
+		var next []frontierEntry
+		seen = make(map[uint64]bool) // a level's dedup is local to the level
+		const block = 1 << 14
+		for lo := 0; lo < len(cur); lo += block {
+			hi := min(lo+block, len(cur))
+			recs := c.replayExpand(cur[lo:hi], workers)
+			for k := lo; k < hi; k++ {
+				cur[k].state = nil
+			}
+			for _, rec := range recs {
+				e, ok := c.visited.Lookup(rec.fp)
+				if !ok {
+					return nil, fmt.Errorf("replay reached state %#x absent from the snapshot's fingerprint set", rec.fp)
+				}
+				if int(e.Depth) != d || seen[rec.fp] {
+					continue
+				}
+				seen[rec.fp] = true
+				next = append(next, rec)
+			}
+		}
+		cur = next
+	}
+	if len(cur) != len(want) {
+		return nil, fmt.Errorf("rebuilt frontier has %d states, snapshot recorded %d", len(cur), len(want))
+	}
+	for _, fe := range cur {
+		if !want[fe.fp] {
+			return nil, fmt.Errorf("rebuilt frontier state %#x is not in the snapshot frontier", fe.fp)
+		}
+	}
+	sortFrontier(cur)
+	return cur, nil
+}
+
+// replayExpand computes successor (state, fingerprint) pairs for guided
+// replay, fanning Next/canonicalFP across workers without touching the
+// fingerprint set.
+func (c *Checker) replayExpand(entries []frontierEntry, workers int) []frontierEntry {
+	expandOne := func(fes []frontierEntry) []frontierEntry {
+		var out []frontierEntry
+		for _, fe := range fes {
+			for _, su := range c.m.Next(fe.state) {
+				out = append(out, frontierEntry{state: su.State, fp: c.canonicalFP(su.State)})
+			}
+		}
+		return out
+	}
+	if len(entries) < 2*workers || workers == 1 {
+		return expandOne(entries)
+	}
+	outs := make([][]frontierEntry, workers)
+	var wg sync.WaitGroup
+	size := (len(entries) + workers - 1) / workers
+	for i := 0; i < workers; i++ {
+		lo := i * size
+		hi := min(lo+size, len(entries))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			outs[i] = expandOne(entries[lo:hi])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	var all []frontierEntry
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all
+}

@@ -1,0 +1,292 @@
+package explorer
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/obs"
+)
+
+// interrupt runs the machine with checkpointing on and a depth bound that
+// stops the run before the space is exhausted — the test stand-in for a
+// killed process. Every completed level writes a snapshot (EveryStates: 1),
+// so Dir/checkpoint.snap afterwards holds the last complete level.
+func interrupt(t *testing.T, dir string, maxDepth int, atomic bool, base Options) *Result {
+	t.Helper()
+	opts := base
+	opts.MaxDepth = maxDepth
+	opts.Checkpoint = CheckpointOptions{Dir: dir, EveryStates: 1, Label: base.Checkpoint.Label}
+	res := NewChecker(newToy(3, atomic), opts).Run()
+	if res.Err != nil {
+		t.Fatalf("interrupted run failed: %v", res.Err)
+	}
+	if res.Checkpoints == 0 {
+		t.Fatal("interrupted run wrote no checkpoints")
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapFile)); err != nil {
+		t.Fatalf("no snapshot on disk: %v", err)
+	}
+	return res
+}
+
+// TestResumeMatchesUninterruptedRun is the core checkpoint/resume guarantee:
+// a run killed after a checkpoint and resumed reports exactly the counters an
+// uninterrupted run reports.
+func TestResumeMatchesUninterruptedRun(t *testing.T) {
+	full := NewChecker(newToy(3, true), Options{}).Run()
+	if !full.Exhausted {
+		t.Fatalf("reference run did not exhaust: %s", full.StopReason)
+	}
+
+	dir := t.TempDir()
+	interrupt(t, dir, 2, true, Options{})
+
+	resumed := NewChecker(newToy(3, true), Options{
+		Checkpoint: CheckpointOptions{Dir: dir, Resume: true},
+	}).Run()
+	if resumed.Err != nil {
+		t.Fatalf("resume failed: %v", resumed.Err)
+	}
+	if !resumed.Resumed {
+		t.Fatal("Result.Resumed not set")
+	}
+	if resumed.DistinctStates != full.DistinctStates {
+		t.Errorf("distinct states: resumed %d, uninterrupted %d", resumed.DistinctStates, full.DistinctStates)
+	}
+	if resumed.Transitions != full.Transitions {
+		t.Errorf("transitions: resumed %d, uninterrupted %d", resumed.Transitions, full.Transitions)
+	}
+	if resumed.DedupHits != full.DedupHits {
+		t.Errorf("dedup hits: resumed %d, uninterrupted %d", resumed.DedupHits, full.DedupHits)
+	}
+	if !resumed.Exhausted {
+		t.Errorf("resumed run did not exhaust: %s", resumed.StopReason)
+	}
+	if resumed.MaxDepth != full.MaxDepth {
+		t.Errorf("max depth: resumed %d, uninterrupted %d", resumed.MaxDepth, full.MaxDepth)
+	}
+}
+
+// TestResumeFindsSameCounterexample checks the other half of the resume
+// guarantee: a violation found after resuming is the same violation (same
+// invariant, depth, and state) the uninterrupted run reports, with a
+// reconstructible trace.
+func TestResumeFindsSameCounterexample(t *testing.T) {
+	base := Options{StopAtFirstViolation: true, RecordVars: true}
+	full := NewChecker(newToy(3, false), base).Run()
+	fv := full.FirstViolation()
+	if fv == nil {
+		t.Fatal("reference run found no violation")
+	}
+
+	dir := t.TempDir()
+	// The toy's minimal counterexample is at depth 4; stop at depth 2 so the
+	// snapshot predates the violation.
+	interrupt(t, dir, 2, false, base)
+
+	opts := base
+	opts.Checkpoint = CheckpointOptions{Dir: dir, Resume: true}
+	resumed := NewChecker(newToy(3, false), opts).Run()
+	if resumed.Err != nil {
+		t.Fatalf("resume failed: %v", resumed.Err)
+	}
+	rv := resumed.FirstViolation()
+	if rv == nil {
+		t.Fatal("resumed run found no violation")
+	}
+	if rv.Invariant != fv.Invariant || rv.Depth != fv.Depth || rv.fp != fv.fp {
+		t.Errorf("counterexample differs: resumed (%s, depth %d, fp %#x), uninterrupted (%s, depth %d, fp %#x)",
+			rv.Invariant, rv.Depth, rv.fp, fv.Invariant, fv.Depth, fv.fp)
+	}
+	if resumed.DistinctStates != full.DistinctStates {
+		t.Errorf("distinct states at violation: resumed %d, uninterrupted %d",
+			resumed.DistinctStates, full.DistinctStates)
+	}
+	if rv.Trace == nil || rv.Trace.Depth() != rv.Depth {
+		t.Errorf("resumed counterexample trace not reconstructed (trace %v)", rv.Trace)
+	}
+}
+
+// TestResumeWithSymmetryAndDifferentWorkers crosses resume with symmetry
+// reduction and a different worker count than the interrupted run — neither
+// may change the result.
+func TestResumeWithSymmetryAndDifferentWorkers(t *testing.T) {
+	base := Options{Symmetry: true, Workers: 1}
+	full := NewChecker(newToy(3, true), Options{Symmetry: true}).Run()
+
+	dir := t.TempDir()
+	interrupt(t, dir, 2, true, base)
+
+	resumed := NewChecker(newToy(3, true), Options{
+		Symmetry:   true,
+		Workers:    4,
+		Checkpoint: CheckpointOptions{Dir: dir, Resume: true},
+	}).Run()
+	if resumed.Err != nil {
+		t.Fatalf("resume failed: %v", resumed.Err)
+	}
+	if resumed.DistinctStates != full.DistinctStates || !resumed.Exhausted {
+		t.Errorf("resumed symmetric run: distinct %d exhausted %v, want %d and true",
+			resumed.DistinctStates, resumed.Exhausted, full.DistinctStates)
+	}
+}
+
+// TestResumeFailsLoudly enumerates the refusal cases: a resume must surface
+// Result.Err (StopReason "checkpoint-error") rather than silently starting
+// over.
+func TestResumeFailsLoudly(t *testing.T) {
+	resumeErr := func(t *testing.T, dir string, opts Options) error {
+		t.Helper()
+		o := opts
+		o.Checkpoint.Dir = dir
+		o.Checkpoint.Resume = true
+		res := NewChecker(newToy(3, true), o).Run()
+		if res.Err == nil {
+			t.Fatal("resume succeeded, want error")
+		}
+		if res.StopReason != "checkpoint-error" {
+			t.Fatalf("stop reason %q, want checkpoint-error", res.StopReason)
+		}
+		if res.DistinctStates != 0 {
+			t.Fatalf("failed resume explored %d states", res.DistinctStates)
+		}
+		return res.Err
+	}
+
+	t.Run("missing", func(t *testing.T) {
+		resumeErr(t, t.TempDir(), Options{})
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		interrupt(t, dir, 2, true, Options{})
+		path := filepath.Join(dir, snapFile)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumeErr(t, dir, Options{}); !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("corrupt snapshot error = %v, want checksum mismatch", err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapFile), []byte("short"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resumeErr(t, dir, Options{})
+	})
+
+	t.Run("different-model", func(t *testing.T) {
+		dir := t.TempDir()
+		interrupt(t, dir, 2, true, Options{})
+		// Same machine name, different initial state (4 processes instead of
+		// 3): caught by the init digest.
+		o := Options{Checkpoint: CheckpointOptions{Dir: dir, Resume: true}}
+		res := NewChecker(newToy(4, true), o).Run()
+		if res.Err == nil || !strings.Contains(res.Err.Error(), "digest") {
+			t.Errorf("different-model resume error = %v, want digest mismatch", res.Err)
+		}
+	})
+
+	t.Run("different-symmetry", func(t *testing.T) {
+		dir := t.TempDir()
+		interrupt(t, dir, 2, true, Options{})
+		if err := resumeErr(t, dir, Options{Symmetry: true}); !strings.Contains(err.Error(), "symmetry") {
+			t.Errorf("symmetry-mismatch error = %v", err)
+		}
+	})
+
+	t.Run("different-label", func(t *testing.T) {
+		dir := t.TempDir()
+		interrupt(t, dir, 2, true, Options{Checkpoint: CheckpointOptions{Label: "toy/3/atomic"}})
+		o := Options{Checkpoint: CheckpointOptions{Label: "toy/5/crash"}}
+		if err := resumeErr(t, dir, o); !strings.Contains(err.Error(), "label") {
+			t.Errorf("label-mismatch error = %v", err)
+		}
+	})
+}
+
+// TestCheckpointObservability checks the side channels: the checkpoints
+// counter in the metrics registry, the "checkpoint" tracer events, and the
+// checkpoint phase timer.
+func TestCheckpointObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	dir := t.TempDir()
+	res := NewChecker(newToy(3, true), Options{
+		Metrics:    reg,
+		Tracer:     tr,
+		MaxDepth:   3,
+		Checkpoint: CheckpointOptions{Dir: dir, EveryStates: 1},
+	}).Run()
+	if res.Checkpoints == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	snap := reg.Snapshot()
+	if got := snap["checkpoints"].(int64); got != int64(res.Checkpoints) {
+		t.Errorf("checkpoints counter = %v, want %d", got, res.Checkpoints)
+	}
+	if _, ok := snap["phase.checkpoint_ns"]; !ok {
+		t.Errorf("no checkpoint phase timer in snapshot: %v", snap)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckEvents := 0
+	for _, ev := range evs {
+		if ev.Kind == "checkpoint" {
+			ckEvents++
+			if ev.Detail["depth"] == "" || ev.Detail["frontier"] == "" {
+				t.Errorf("checkpoint event missing detail: %+v", ev)
+			}
+		}
+	}
+	if ckEvents != res.Checkpoints {
+		t.Errorf("tracer saw %d checkpoint events, result counted %d", ckEvents, res.Checkpoints)
+	}
+}
+
+// TestCheckpointSkipsPartialLevels: a run stopped mid-level (max-states hit
+// inside a level's block loop) must not snapshot the incomplete frontier; the
+// previous complete-level snapshot stays authoritative.
+func TestCheckpointSkipsPartialLevels(t *testing.T) {
+	dir := t.TempDir()
+	// MaxStates small enough to trip mid-exploration; EveryStates 1 so every
+	// complete level would checkpoint.
+	res := NewChecker(newToy(4, true), Options{
+		MaxStates:  10,
+		Checkpoint: CheckpointOptions{Dir: dir, EveryStates: 1},
+	}).Run()
+	if res.StopReason != "max-states" {
+		t.Skipf("toy space too small to trip max-states: %s", res.StopReason)
+	}
+	// Whatever was written must resume cleanly (i.e. describe a complete
+	// level), or nothing was written at all.
+	if _, err := os.Stat(filepath.Join(dir, snapFile)); err != nil {
+		return
+	}
+	resumed := NewChecker(newToy(4, true), Options{
+		Checkpoint: CheckpointOptions{Dir: dir, Resume: true},
+	}).Run()
+	if resumed.Err != nil {
+		t.Fatalf("snapshot from a max-states run does not resume: %v", resumed.Err)
+	}
+	full := NewChecker(newToy(4, true), Options{}).Run()
+	if resumed.DistinctStates != full.DistinctStates {
+		t.Errorf("resumed distinct %d, uninterrupted %d", resumed.DistinctStates, full.DistinctStates)
+	}
+}

@@ -5,19 +5,32 @@
 // checking and constraint ranking.
 //
 // The BFS checker is stateful — it remembers every visited state in a
-// fingerprint set and therefore never re-explores a state — which is the
+// concurrent fingerprint set (internal/fpset, the analogue of TLC's
+// fingerprint set) and therefore never re-explores a state — which is the
 // property that makes specification-level exploration orders of magnitude
 // faster than stateless implementation-level exploration. Counterexamples
 // found by BFS have minimal depth.
+//
+// Expansion workers probe-and-insert into the sharded fingerprint set
+// concurrently; there is no serial deduplication barrier. Results remain
+// deterministic regardless of worker count and scheduling: the set breaks
+// equal-depth parent ties by smallest parent fingerprint, each BFS level is
+// sorted by fingerprint before the next level is expanded, and violations
+// are reported in (depth, fingerprint) order.
+//
+// Long runs can snapshot their fingerprint set and frontier to disk and be
+// resumed after an interruption; see CheckpointOptions.
 package explorer
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"github.com/sandtable-go/sandtable/internal/fpset"
 	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
@@ -28,6 +41,10 @@ type Options struct {
 	// Workers is the number of parallel expansion workers (level-synchronous
 	// BFS). Zero means runtime.NumCPU().
 	Workers int
+	// FPSetShards is the fingerprint-set shard count (rounded up to a power
+	// of two; 0 = automatic, sized from GOMAXPROCS). More shards lower the
+	// probability that two expansion workers contend on one shard lock.
+	FPSetShards int
 	// Symmetry enables symmetry reduction when the machine implements
 	// spec.Symmetric: states are identified up to node permutation.
 	Symmetry bool
@@ -35,8 +52,12 @@ type Options struct {
 	// usually bound the space already).
 	MaxDepth int
 	// MaxStates stops the search after this many distinct states (0 = off).
+	// The bound is checked at block boundaries, so a run may overshoot by
+	// up to one block.
 	MaxStates int
 	// Deadline stops the search after this wall-clock duration (0 = off).
+	// On a resumed run the deadline budgets the current session, not the
+	// cumulative run.
 	Deadline time.Duration
 	// StopAtFirstViolation halts at the first invariant violation (the
 	// default SandTable workflow: confirm one bug, fix, re-run). When false
@@ -50,6 +71,10 @@ type Options struct {
 	// modeling-stage findings such as "no leader is ever elected").
 	Goal func(s spec.State) bool
 
+	// Checkpoint configures periodic exploration snapshots and resume; the
+	// zero value disables both. See CheckpointOptions.
+	Checkpoint CheckpointOptions
+
 	// Progress, when set, receives TLC-style periodic progress snapshots
 	// during the run (distinct states, frontier size, throughput). The
 	// cadence is ProgressInterval and/or ProgressStates; with both zero a
@@ -62,10 +87,12 @@ type Options struct {
 	ProgressStates int
 	// Metrics, when set, receives live counters during the run (keys:
 	// distinct_states, transitions, dedup_hits, queue_len, max_queue_len,
-	// depth) so an expvar/pprof endpoint can watch a run in flight.
+	// depth, plus the fpset.* fingerprint-set gauges) so an expvar/pprof
+	// endpoint can watch a run in flight.
 	Metrics *obs.Registry
 	// Tracer, when set, receives one "level" event per completed BFS level
-	// — a structured record of how the exploration advanced.
+	// — a structured record of how the exploration advanced — and one
+	// "checkpoint" event per snapshot written.
 	Tracer *obs.Tracer
 }
 
@@ -84,6 +111,7 @@ type Violation struct {
 	fp uint64 // fingerprint of the violating state
 }
 
+// String renders the violation as a one-line human-readable summary.
 func (v *Violation) String() string {
 	return fmt.Sprintf("invariant %s violated at depth %d: %v", v.Invariant, v.Depth, v.Err)
 }
@@ -101,15 +129,25 @@ type Result struct {
 	// memory driver.
 	MaxQueueLen int
 	MaxDepth    int
-	Duration    time.Duration
-	Violations  []*Violation
+	// Duration is the cumulative exploration wall-clock time; for a
+	// resumed run it includes the elapsed time recorded in the snapshot.
+	Duration   time.Duration
+	Violations []*Violation
 	// GoalReached reports whether any explored state satisfied Options.Goal.
 	GoalReached bool
 	// Exhausted is true when the bounded state space was fully explored.
 	Exhausted bool
 	// StopReason explains why the run ended ("exhausted", "violation",
-	// "max-states", "deadline", "max-depth").
+	// "max-states", "deadline", "max-depth", "checkpoint-error").
 	StopReason string
+	// Resumed reports whether the run continued from a snapshot.
+	Resumed bool
+	// Checkpoints counts the snapshots written during the run.
+	Checkpoints int
+	// Err carries a fatal configuration error (today: a failed resume —
+	// missing, corrupt, or incompatible snapshot). When non-nil the other
+	// fields are zero and StopReason is "checkpoint-error".
+	Err error
 }
 
 // StatesPerSecond reports the exploration throughput.
@@ -128,17 +166,14 @@ func (r *Result) DedupRatio() float64 {
 	return float64(r.DedupHits) / float64(r.Transitions)
 }
 
-// FirstViolation returns the minimal-depth violation, or nil.
+// FirstViolation returns the minimal-depth violation, or nil. Among
+// equal-depth violations the one with the smallest state fingerprint is
+// first — a deterministic choice independent of worker scheduling.
 func (r *Result) FirstViolation() *Violation {
 	if len(r.Violations) == 0 {
 		return nil
 	}
 	return r.Violations[0]
-}
-
-type edge struct {
-	parent uint64
-	depth  int32
 }
 
 // Checker runs stateful BFS over a specification. A Checker is single-use:
@@ -151,12 +186,15 @@ type Checker struct {
 	fast  spec.FastSymmetric
 	perms [][]int
 
-	visited map[uint64]edge
+	visited *fpset.Set
+
+	// restored carries state loaded from a snapshot (nil for fresh runs).
+	restored *snapshot
 }
 
 // NewChecker builds a checker for machine m.
 func NewChecker(m spec.Machine, opts Options) *Checker {
-	c := &Checker{m: m, opts: opts, visited: make(map[uint64]edge, 1<<16)}
+	c := &Checker{m: m, opts: opts, visited: fpset.New(opts.FPSetShards)}
 	if opts.Symmetry {
 		if sym, ok := m.(spec.Symmetric); ok && sym.NumNodes() > 1 {
 			c.sym = sym
@@ -208,18 +246,12 @@ type frontierEntry struct {
 	fp    uint64
 }
 
-// succRecord is a successor produced by a worker, awaiting the serial merge
-// against the global visited set.
-type succRecord struct {
-	state  spec.State
-	fp     uint64
-	parent uint64
-}
-
 // runMetrics holds the registry handles resolved once per run; updates are
 // lock-free atomic stores performed at block granularity, never per state.
 type runMetrics struct {
 	distinct, transitions, dedup, queueLen, maxQueueLen, depth *obs.Gauge
+	fpsetEntries, fpsetSlots, fpsetProbes, fpsetResizes        *obs.Gauge
+	checkpoints                                                *obs.Counter
 }
 
 func newRunMetrics(reg *obs.Registry) *runMetrics {
@@ -227,16 +259,21 @@ func newRunMetrics(reg *obs.Registry) *runMetrics {
 		return nil
 	}
 	return &runMetrics{
-		distinct:    reg.Gauge("distinct_states"),
-		transitions: reg.Gauge("transitions"),
-		dedup:       reg.Gauge("dedup_hits"),
-		queueLen:    reg.Gauge("queue_len"),
-		maxQueueLen: reg.Gauge("max_queue_len"),
-		depth:       reg.Gauge("depth"),
+		distinct:     reg.Gauge("distinct_states"),
+		transitions:  reg.Gauge("transitions"),
+		dedup:        reg.Gauge("dedup_hits"),
+		queueLen:     reg.Gauge("queue_len"),
+		maxQueueLen:  reg.Gauge("max_queue_len"),
+		depth:        reg.Gauge("depth"),
+		fpsetEntries: reg.Gauge("fpset.entries"),
+		fpsetSlots:   reg.Gauge("fpset.slots"),
+		fpsetProbes:  reg.Gauge("fpset.probes"),
+		fpsetResizes: reg.Gauge("fpset.resizes"),
+		checkpoints:  reg.Counter("checkpoints"),
 	}
 }
 
-func (m *runMetrics) publish(res *Result, queueLen, depth int) {
+func (m *runMetrics) publish(res *Result, queueLen, depth int, set *fpset.Set) {
 	if m == nil {
 		return
 	}
@@ -246,6 +283,11 @@ func (m *runMetrics) publish(res *Result, queueLen, depth int) {
 	m.queueLen.Set(int64(queueLen))
 	m.maxQueueLen.Set(int64(res.MaxQueueLen))
 	m.depth.Set(int64(depth))
+	st := set.Stats()
+	m.fpsetEntries.Set(st.Entries)
+	m.fpsetSlots.Set(st.Slots)
+	m.fpsetProbes.Set(st.Probes)
+	m.fpsetResizes.Set(st.Resizes)
 }
 
 // newReporter builds the progress reporter for a run (nil Progress → a
@@ -269,28 +311,60 @@ func (c *Checker) Run() *Result {
 	}
 	reporter := c.opts.newReporter()
 	metrics := newRunMetrics(c.opts.Metrics)
+	ck := c.newCheckpointer(metrics)
 
 	invs := c.m.Invariants()
 	var frontier []frontierEntry
-	for _, s := range c.m.Init() {
-		fp := c.canonicalFP(s)
-		if _, seen := c.visited[fp]; seen {
-			res.DedupHits++
-			continue
-		}
-		c.visited[fp] = edge{parent: fp, depth: 0}
-		frontier = append(frontier, frontierEntry{state: s, fp: fp})
-		if c.opts.Goal != nil && c.opts.Goal(s) {
-			res.GoalReached = true
-		}
-		if v := checkInvariants(invs, s, 0, fp); v != nil {
-			res.Violations = append(res.Violations, v)
+	depth := 0
+	var restoredElapsed time.Duration
+
+	if c.opts.Checkpoint.Resume {
+		if err := c.resume(); err != nil {
+			res.Err = fmt.Errorf("resume: %w", err)
+			res.StopReason = "checkpoint-error"
+			return res
 		}
 	}
-	res.DistinctStates = len(frontier)
-	res.MaxQueueLen = len(frontier)
 
-	depth := 0
+	if c.restored != nil {
+		// Continue from the snapshot: counters, depth, and the rebuilt
+		// frontier replace the init-state seeding below.
+		snap := c.restored
+		res.Resumed = true
+		res.DistinctStates = snap.header.DistinctStates
+		res.Transitions = snap.header.Transitions
+		res.DedupHits = snap.header.DedupHits
+		res.MaxQueueLen = snap.header.MaxQueueLen
+		res.MaxDepth = snap.header.MaxDepth
+		res.GoalReached = snap.header.GoalReached
+		res.Violations = snap.violations()
+		restoredElapsed = time.Duration(snap.header.ElapsedNs)
+		depth = snap.header.Depth
+		frontier = snap.frontier
+		c.restored = nil
+	} else {
+		seen := make(map[uint64]bool)
+		for _, s := range c.m.Init() {
+			fp := c.canonicalFP(s)
+			if seen[fp] {
+				res.DedupHits++
+				continue
+			}
+			seen[fp] = true
+			c.visited.Insert(fp, fp, 0)
+			frontier = append(frontier, frontierEntry{state: s, fp: fp})
+			if c.opts.Goal != nil && c.opts.Goal(s) {
+				res.GoalReached = true
+			}
+			if v := checkInvariants(invs, s, 0, fp); v != nil {
+				res.Violations = append(res.Violations, v)
+			}
+		}
+		sortFrontier(frontier)
+		res.DistinctStates = len(frontier)
+		res.MaxQueueLen = len(frontier)
+	}
+
 	stop := ""
 	deadline := time.Time{}
 	if c.opts.Deadline > 0 {
@@ -318,47 +392,38 @@ func (c *Checker) Run() *Result {
 		depth++
 
 		// Expand the level in bounded blocks so memory holds at most one
-		// block's successors at a time, and merge each block serially:
-		// deduplicate against the global fingerprint set, record parent
-		// edges, and check invariants on newly discovered states only
-		// (duplicates were checked when first discovered).
+		// block's successors at a time. Workers probe-and-insert into the
+		// sharded fingerprint set concurrently — deduplication, parent-edge
+		// recording, and invariant checking all happen inside the workers;
+		// the serial part of a block is only appending the fresh states and
+		// folding counters.
 		const block = 1 << 14
 		var next []frontierEntry
-	level:
+		var levelViolations []*Violation
+		partialLevel := false
 		for lo := 0; lo < len(frontier); lo += block {
 			hi := min(lo+block, len(frontier))
-			records, work := c.expand(frontier[lo:hi], workers)
+			out := c.expandInsert(frontier[lo:hi], depth, workers, invs)
 			// The block's states are fully expanded: release them so the
 			// peak footprint is one level plus one block, not two levels.
 			for k := lo; k < hi; k++ {
 				frontier[k].state = nil
 			}
-			res.Transitions += work
-			for _, r := range records {
-				if _, seen := c.visited[r.fp]; seen {
-					res.DedupHits++
-					continue
-				}
-				c.visited[r.fp] = edge{parent: r.parent, depth: int32(depth)}
-				next = append(next, frontierEntry{state: r.state, fp: r.fp})
-				res.DistinctStates++
-				if c.opts.Goal != nil && !res.GoalReached && c.opts.Goal(r.state) {
-					res.GoalReached = true
-				}
-				if v := checkInvariants(invs, r.state, depth, r.fp); v != nil {
-					res.Violations = append(res.Violations, v)
-					if c.opts.StopAtFirstViolation {
-						break level
-					}
-				}
+			res.Transitions += out.work
+			res.DedupHits += out.dedup
+			res.DistinctStates += len(out.fresh)
+			next = append(next, out.fresh...)
+			if out.goal {
+				res.GoalReached = true
 			}
+			levelViolations = append(levelViolations, out.viols...)
 			// Block boundary: cheap queue-length bookkeeping and (when
 			// configured) progress/metrics publication. Never per state.
 			queueLen := (len(frontier) - hi) + len(next)
 			if queueLen > res.MaxQueueLen {
 				res.MaxQueueLen = queueLen
 			}
-			metrics.publish(res, queueLen, depth)
+			metrics.publish(res, queueLen, depth, c.visited)
 			reporter.Maybe(obs.Progress{
 				DistinctStates: res.DistinctStates,
 				QueueLen:       queueLen,
@@ -366,13 +431,27 @@ func (c *Checker) Run() *Result {
 				DedupHits:      res.DedupHits,
 				Depth:          depth,
 			})
+			if c.opts.StopAtFirstViolation && len(levelViolations) > 0 {
+				partialLevel = hi < len(frontier)
+				break
+			}
 			if c.opts.MaxStates > 0 && res.DistinctStates >= c.opts.MaxStates {
+				partialLevel = hi < len(frontier)
 				break
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
+				partialLevel = hi < len(frontier)
 				break
 			}
 		}
+		// Violations within a level are ordered by state fingerprint so the
+		// reported counterexample does not depend on scheduling.
+		sortViolations(levelViolations)
+		res.Violations = append(res.Violations, levelViolations...)
+		// The next frontier is sorted by fingerprint: with a deterministic
+		// level order, block composition — and therefore every block-level
+		// stop decision above — is identical across runs and worker counts.
+		sortFrontier(next)
 		frontier = next
 		if len(frontier) > 0 {
 			res.MaxDepth = depth
@@ -387,6 +466,14 @@ func (c *Checker) Run() *Result {
 				"dedup_hits":  strconv.FormatInt(res.DedupHits, 10),
 			},
 		})
+		// Level boundary: the frontier is well-defined and workers are
+		// quiescent — write a snapshot when the checkpoint cadence is due.
+		// A level cut short by a mid-level stop (max-states, deadline) is
+		// never snapshotted: its frontier is incomplete, and the run is
+		// ending anyway. The previous complete-level snapshot stays valid.
+		if ck != nil && !partialLevel && len(frontier) > 0 && (len(res.Violations) == 0 || !c.opts.StopAtFirstViolation) {
+			ck.maybeWrite(c, res, depth, frontier, restoredElapsed+time.Since(start))
+		}
 	}
 
 	if stop == "" {
@@ -398,9 +485,9 @@ func (c *Checker) Run() *Result {
 		}
 	}
 	res.StopReason = stop
-	res.Duration = time.Since(start)
+	res.Duration = restoredElapsed + time.Since(start)
 
-	metrics.publish(res, len(frontier), depth)
+	metrics.publish(res, len(frontier), depth, c.visited)
 	if c.opts.Progress != nil {
 		reporter.Emit(obs.Progress{
 			DistinctStates: res.DistinctStates,
@@ -418,18 +505,43 @@ func (c *Checker) Run() *Result {
 	return res
 }
 
-// expand computes all successors of the frontier, fanning the expensive work
-// (Next enumeration, cloning, canonical fingerprints) across workers.
-func (c *Checker) expand(frontier []frontierEntry, workers int) ([]succRecord, int64) {
+func sortFrontier(fs []frontierEntry) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].fp < fs[j].fp })
+}
+
+// sortViolations orders violations by (depth, state fingerprint, invariant
+// name) — a total order independent of discovery order.
+func sortViolations(vs []*Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Depth != vs[j].Depth {
+			return vs[i].Depth < vs[j].Depth
+		}
+		if vs[i].fp != vs[j].fp {
+			return vs[i].fp < vs[j].fp
+		}
+		return vs[i].Invariant < vs[j].Invariant
+	})
+}
+
+// chunkOut is one worker's share of a block expansion.
+type chunkOut struct {
+	fresh []frontierEntry
+	work  int64
+	dedup int64
+	viols []*Violation
+	goal  bool
+}
+
+// expandInsert expands the given frontier slice and inserts every successor
+// into the fingerprint set, fanning the expensive work (Next enumeration,
+// cloning, canonical fingerprints, set insertion, invariant checks on fresh
+// states) across workers. Only newly discovered states are returned.
+func (c *Checker) expandInsert(frontier []frontierEntry, depth, workers int, invs []spec.Invariant) chunkOut {
 	if len(frontier) < 2*workers || workers == 1 {
-		return c.expandChunk(frontier)
+		return c.expandInsertChunk(frontier, depth, invs)
 	}
 	chunks := workers
-	type out struct {
-		recs []succRecord
-		work int64
-	}
-	outs := make([]out, chunks)
+	outs := make([]chunkOut, chunks)
 	var wg sync.WaitGroup
 	size := (len(frontier) + chunks - 1) / chunks
 	for i := 0; i < chunks; i++ {
@@ -441,31 +553,43 @@ func (c *Checker) expand(frontier []frontierEntry, workers int) ([]succRecord, i
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			recs, work := c.expandChunk(frontier[lo:hi])
-			outs[i] = out{recs: recs, work: work}
+			outs[i] = c.expandInsertChunk(frontier[lo:hi], depth, invs)
 		}(i, lo, hi)
 	}
 	wg.Wait()
-	var all []succRecord
-	var work int64
-	for _, o := range outs {
-		all = append(all, o.recs...)
-		work += o.work
+	var all chunkOut
+	for i := range outs {
+		all.fresh = append(all.fresh, outs[i].fresh...)
+		all.work += outs[i].work
+		all.dedup += outs[i].dedup
+		all.viols = append(all.viols, outs[i].viols...)
+		all.goal = all.goal || outs[i].goal
 	}
-	return all, work
+	return all
 }
 
-func (c *Checker) expandChunk(entries []frontierEntry) ([]succRecord, int64) {
-	var recs []succRecord
-	var work int64
+func (c *Checker) expandInsertChunk(entries []frontierEntry, depth int, invs []spec.Invariant) chunkOut {
+	var out chunkOut
+	goal := c.opts.Goal
 	for _, fe := range entries {
 		succs := c.m.Next(fe.state)
-		work += int64(len(succs))
+		out.work += int64(len(succs))
 		for _, su := range succs {
-			recs = append(recs, succRecord{state: su.State, fp: c.canonicalFP(su.State), parent: fe.fp})
+			fp := c.canonicalFP(su.State)
+			if !c.visited.Insert(fp, fe.fp, int32(depth)) {
+				out.dedup++
+				continue
+			}
+			out.fresh = append(out.fresh, frontierEntry{state: su.State, fp: fp})
+			if goal != nil && !out.goal && goal(su.State) {
+				out.goal = true
+			}
+			if v := checkInvariants(invs, su.State, depth, fp); v != nil {
+				out.viols = append(out.viols, v)
+			}
 		}
 	}
-	return recs, work
+	return out
 }
 
 func min(a, b int) int {

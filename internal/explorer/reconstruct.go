@@ -20,15 +20,15 @@ func (c *Checker) reconstruct(v *Violation) *trace.Trace {
 	var chain []uint64
 	fp := v.fp
 	for {
-		e, ok := c.visited[fp]
+		e, ok := c.visited.Lookup(fp)
 		if !ok {
 			return nil
 		}
 		chain = append(chain, fp)
-		if e.depth == 0 {
+		if e.Depth == 0 {
 			break
 		}
-		fp = e.parent
+		fp = e.Parent
 	}
 	// Reverse in place: chain[0] is now the root.
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/sandtable-go/sandtable/internal/fpset"
 	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
@@ -23,6 +24,12 @@ type SimOptions struct {
 	// RecordVars includes per-step variable maps in the produced traces
 	// (required for conformance checking).
 	RecordVars bool
+	// TrackDistinct deduplicates visited states across walks in a shared
+	// fingerprint set (internal/fpset — the same structure backing the BFS
+	// checker), so WalkStats.FreshStates and AggregateStats.DistinctStates
+	// measure how much new ground each walk actually covers. Off by
+	// default: the set grows with the number of distinct states touched.
+	TrackDistinct bool
 
 	// Progress, when set, receives periodic snapshots during Walks: Depth
 	// carries the walk index, DistinctStates/Transitions the cumulative
@@ -46,6 +53,9 @@ type WalkStats struct {
 	Depth      int
 	Actions    map[string]int
 	EventTypes map[trace.EventType]int
+	// FreshStates counts states this walk visited that no earlier walk of
+	// the same Simulator had seen (0 unless SimOptions.TrackDistinct).
+	FreshStates int
 	// Terminal reports why the walk ended: "deadlock" (no enabled
 	// transition), "max-depth", or "violation".
 	Terminal string
@@ -69,11 +79,27 @@ type WalkResult struct {
 type Simulator struct {
 	m    spec.Machine
 	opts SimOptions
+
+	// distinct deduplicates states across walks (nil unless TrackDistinct).
+	distinct *fpset.Set
 }
 
 // NewSimulator builds a simulator for machine m.
 func NewSimulator(m spec.Machine, opts SimOptions) *Simulator {
-	return &Simulator{m: m, opts: opts}
+	s := &Simulator{m: m, opts: opts}
+	if opts.TrackDistinct {
+		s.distinct = fpset.New(1)
+	}
+	return s
+}
+
+// Distinct returns the number of distinct states visited across all walks
+// performed so far (0 unless SimOptions.TrackDistinct).
+func (s *Simulator) Distinct() int64 {
+	if s.distinct == nil {
+		return 0
+	}
+	return s.distinct.Len()
 }
 
 // Walk performs a single random walk with the given seed.
@@ -95,6 +121,9 @@ func (s *Simulator) Walk(seed int64) *WalkResult {
 	if s.opts.RecordVars {
 		res.Trace.Init = cur.Vars()
 	}
+	if s.distinct != nil && s.distinct.Insert(cur.Fingerprint(), 0, 0) {
+		res.Stats.FreshStates++
+	}
 
 	for depth := 0; s.opts.MaxDepth == 0 || depth < s.opts.MaxDepth; depth++ {
 		succs := s.m.Next(cur)
@@ -108,6 +137,9 @@ func (s *Simulator) Walk(seed int64) *WalkResult {
 		res.Stats.Actions[pick.Event.Action]++
 		res.Stats.EventTypes[pick.Event.Type]++
 
+		if s.distinct != nil && s.distinct.Insert(cur.Fingerprint(), 0, int32(res.Stats.Depth)) {
+			res.Stats.FreshStates++
+		}
 		step := trace.Step{Event: pick.Event, Fingerprint: cur.Fingerprint()}
 		if s.opts.RecordVars {
 			step.Vars = cur.Vars()
@@ -194,6 +226,10 @@ type AggregateStats struct {
 	MaxDepth       int
 	MeanDepth      float64
 	Violations     int
+	// DistinctStates is the number of distinct states touched across all
+	// walks (0 unless SimOptions.TrackDistinct; each fresh state is counted
+	// by exactly one walk, so the per-walk FreshStates sum to it).
+	DistinctStates int
 	TotalElapsed   time.Duration
 }
 
@@ -213,6 +249,7 @@ func Aggregate(walks []*WalkResult) AggregateStats {
 		if w.Stats.Depth > agg.MaxDepth {
 			agg.MaxDepth = w.Stats.Depth
 		}
+		agg.DistinctStates += w.Stats.FreshStates
 		total += w.Stats.Depth
 		if w.Violation != nil {
 			agg.Violations++

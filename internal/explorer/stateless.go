@@ -3,6 +3,7 @@ package explorer
 import (
 	"time"
 
+	"github.com/sandtable-go/sandtable/internal/fpset"
 	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/spec"
 )
@@ -15,6 +16,13 @@ type StatelessOptions struct {
 	MaxDepth  int
 	Deadline  time.Duration
 	MaxVisits int64 // stop after this many state visits (0 = off)
+
+	// TrackDistinct additionally counts *distinct* states in a fingerprint
+	// set (internal/fpset). The set never prunes the search — that would
+	// make it stateful — it only measures the redundancy, so
+	// StatelessResult.SelfRedundancy works without a separate stateful run
+	// of the same model.
+	TrackDistinct bool
 
 	// Progress, when set, receives periodic snapshots: DistinctStates and
 	// Transitions both carry the raw visit count (the stateless discipline
@@ -34,8 +42,11 @@ type StatelessResult struct {
 	Visits     int64 // states visited, duplicates included
 	Executions int64 // complete root-to-leaf executions
 	Violations int
-	Duration   time.Duration
-	Exhausted  bool
+	// Distinct is the number of distinct states among the visits (0 unless
+	// StatelessOptions.TrackDistinct).
+	Distinct  int64
+	Duration  time.Duration
+	Exhausted bool
 }
 
 // RedundancyFactor estimates wasted work: visits per distinct state, given
@@ -45,6 +56,12 @@ func (r *StatelessResult) RedundancyFactor(distinct int) float64 {
 		return 0
 	}
 	return float64(r.Visits) / float64(distinct)
+}
+
+// SelfRedundancy is RedundancyFactor against the run's own distinct-state
+// count (requires StatelessOptions.TrackDistinct).
+func (r *StatelessResult) SelfRedundancy() float64 {
+	return r.RedundancyFactor(int(r.Distinct))
 }
 
 // StatelessSearch explores the machine by depth-bounded DFS without state
@@ -68,10 +85,17 @@ func StatelessSearch(m spec.Machine, opts StatelessOptions) *StatelessResult {
 		visitsGauge = opts.Metrics.Gauge("stateless_visits")
 		execGauge = opts.Metrics.Gauge("stateless_executions")
 	}
+	var distinct *fpset.Set
+	if opts.TrackDistinct {
+		distinct = fpset.New(1)
+	}
 
 	var dfs func(s spec.State, depth int) bool // returns false to abort
 	dfs = func(s spec.State, depth int) bool {
 		res.Visits++
+		if distinct != nil {
+			distinct.Insert(s.Fingerprint(), 0, int32(depth))
+		}
 		if opts.MaxVisits > 0 && res.Visits >= opts.MaxVisits {
 			return false
 		}
@@ -117,6 +141,9 @@ func StatelessSearch(m spec.Machine, opts StatelessOptions) *StatelessResult {
 		}
 	}
 	res.Duration = time.Since(start)
+	if distinct != nil {
+		res.Distinct = distinct.Len()
+	}
 	visitsGauge.Set(res.Visits)
 	execGauge.Set(res.Executions)
 	if opts.Progress != nil {

@@ -1,0 +1,68 @@
+package fpset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary layout of a serialised set: a uint64 entry count followed by
+// one 20-byte little-endian record per entry (fingerprint, parent, depth).
+// The explorer's checkpoint file wraps this stream in a versioned envelope;
+// the layout below never changes within a checkpoint version.
+const recordSize = 8 + 8 + 4
+
+// WriteTo serialises every entry to w. It locks one shard at a time, so the
+// caller must ensure no concurrent Insert (the explorer snapshots only at
+// level boundaries, where workers are quiesced). Returns the byte count
+// written.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf [recordSize]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(s.Len()))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return 0, err
+	}
+	written := int64(8)
+	var werr error
+	s.Range(func(fp uint64, e Edge) bool {
+		binary.LittleEndian.PutUint64(buf[0:8], fp)
+		binary.LittleEndian.PutUint64(buf[8:16], e.Parent)
+		binary.LittleEndian.PutUint32(buf[16:20], uint32(e.Depth))
+		if _, err := bw.Write(buf[:]); err != nil {
+			werr = err
+			return false
+		}
+		written += recordSize
+		return true
+	})
+	if werr != nil {
+		return written, werr
+	}
+	return written, bw.Flush()
+}
+
+// Read deserialises a stream produced by WriteTo into a fresh set with the
+// given shard count (<= 0 selects DefaultShards; the shard count is a
+// runtime tuning knob, not part of the serialised state, so a snapshot
+// written with one shard count may be read back with another).
+func Read(r io.Reader, shards int) (*Set, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(br, buf[:8]); err != nil {
+		return nil, fmt.Errorf("fpset: read header: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(buf[:8])
+	s := New(shards)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("fpset: read entry %d/%d: %w", i, count, err)
+		}
+		fp := binary.LittleEndian.Uint64(buf[0:8])
+		parent := binary.LittleEndian.Uint64(buf[8:16])
+		depth := int32(binary.LittleEndian.Uint32(buf[16:20]))
+		s.Insert(fp, parent, depth)
+	}
+	return s, nil
+}

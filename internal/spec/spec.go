@@ -128,13 +128,13 @@ type Budget struct {
 // Map renders the budget as the generic config map recorded in traces.
 func (b Budget) Map() map[string]int {
 	return map[string]int{
-		"MaxTimeouts":    b.MaxTimeouts,
-		"MaxCrashes":     b.MaxCrashes,
-		"MaxRestarts":    b.MaxRestarts,
-		"MaxRequests":    b.MaxRequests,
-		"MaxPartitions":  b.MaxPartitions,
-		"MaxDrops":       b.MaxDrops,
-		"MaxDuplicates":  b.MaxDuplicates,
+		"MaxTimeouts":     b.MaxTimeouts,
+		"MaxCrashes":      b.MaxCrashes,
+		"MaxRestarts":     b.MaxRestarts,
+		"MaxRequests":     b.MaxRequests,
+		"MaxPartitions":   b.MaxPartitions,
+		"MaxDrops":        b.MaxDrops,
+		"MaxDuplicates":   b.MaxDuplicates,
 		"MaxBuffer":       b.MaxBuffer,
 		"MaxCompactions":  b.MaxCompactions,
 		"MaxDirtyCrashes": b.MaxDirtyCrashes,

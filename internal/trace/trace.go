@@ -25,20 +25,20 @@ type EventType string
 // systems; Partition/Recover apply to the TCP failure model; Drop/Duplicate
 // and out-of-order delivery (Deliver with Index > 0) apply to UDP semantics.
 const (
-	EvDeliver   EventType = "DeliverMessage"
-	EvTimeout   EventType = "Timeout"
-	EvRequest   EventType = "ClientRequest"
-	EvCrash     EventType = "NodeCrash"
+	EvDeliver EventType = "DeliverMessage"
+	EvTimeout EventType = "Timeout"
+	EvRequest EventType = "ClientRequest"
+	EvCrash   EventType = "NodeCrash"
 	// EvCrashDirty is a crash with realistic durability: the payload names
 	// the vos.CrashMode ("lose-unsynced" or "torn-batch") deciding the fate
 	// of the node's unsynced write journal.
 	EvCrashDirty EventType = "NodeCrashDirty"
 	EvRestart    EventType = "NodeStart"
-	EvPartition EventType = "NetworkPartition"
-	EvRecover   EventType = "NetworkRecover"
-	EvDrop      EventType = "MessageDrop"
-	EvDuplicate EventType = "MessageDuplicate"
-	EvInternal  EventType = "Internal"
+	EvPartition  EventType = "NetworkPartition"
+	EvRecover    EventType = "NetworkRecover"
+	EvDrop       EventType = "MessageDrop"
+	EvDuplicate  EventType = "MessageDuplicate"
+	EvInternal   EventType = "Internal"
 )
 
 // Event is one scheduled node-level event. Node is the event's primary node

@@ -10,6 +10,18 @@
 //     clears in-flight buffers, and blocks traffic until healed (§A.3).
 //   - UDP: an indexed buffer per ordered pair allowing selective delivery
 //     (out-of-order), drops, and duplication.
+//
+// # Concurrency
+//
+// A Network is not safe for concurrent use: it is owned by exactly one
+// goroutine (the deterministic engine's command loop — determinism requires
+// serial execution), and every method, including Stats, must be called from
+// that goroutine. The one sanctioned way to observe a live run from another
+// goroutine is the obs-backed mirror installed with SetMetrics: its
+// counters and gauges are atomics updated alongside the plain Stats fields,
+// so a concurrent reader (an expvar endpoint, a progress reporter, trace
+// emission) polls the registry's vnet.* entries instead of touching the
+// Network. TestStatsMirrorConcurrentReads pins this contract under -race.
 package vnet
 
 import (

@@ -18,15 +18,16 @@ go test -run '^$' -bench BenchmarkTable3Exploration -benchmem -count "$COUNT" . 
 awk -v count="$COUNT" '
 BEGIN { print "{"; printf "  \"benchmark\": \"BenchmarkTable3Exploration\",\n  \"count\": %d,\n  \"runs\": [\n", count }
 /^Benchmark/ {
-    ns = b = a = sps = "null"
+    ns = b = a = sps = w = "null"
     for (i = 3; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i - 1)
         else if ($i == "B/op") b = $(i - 1)
         else if ($i == "allocs/op") a = $(i - 1)
         else if ($i == "states/s") sps = $(i - 1)
+        else if ($i == "workers") w = $(i - 1)
     }
     sep = (n++ ? ",\n" : "")
-    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $1, $2, ns, sps, b, a
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"workers\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $1, $2, w, ns, sps, b, a
 }
 END { print "\n  ]\n}" }
 ' "$RAW" > "$OUT"
