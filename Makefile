@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz docs ci bench clean
+.PHONY: all build vet test race race-conform fuzz docs ci bench clean
 
 all: ci
 
@@ -16,6 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-conform hammers the parallel conformance worker pool specifically:
+# repeated -race runs of the pool's equivalence and verdict tests, so a
+# scheduling-dependent regression in the first-discrepancy-wins protocol
+# fails CI even when the full-suite race pass happens to interleave benignly.
+race-conform:
+	$(GO) test -race -count 4 -run 'TestParallelMatchesSerial|TestResourceCheck' ./internal/conformance/
+
 # fuzz runs a short coverage-guided smoke over the virtual network's queue
 # operations (send/deliver/drop/duplicate against a model oracle).
 FUZZTIME ?= 10s
@@ -29,8 +36,9 @@ docs:
 	./scripts/checkdocs.sh
 
 # ci is the gate every change must pass: compile, static checks, the docs
-# gate, the full test suite under the race detector, and a short fuzz smoke.
-ci: build vet docs race fuzz
+# gate, the full test suite under the race detector, the repeated race run
+# of the parallel conformance pool, and a short fuzz smoke.
+ci: build vet docs race race-conform fuzz
 
 # bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
 # (see scripts/bench.sh for the JSON shape).

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/conformance"
 	"github.com/sandtable-go/sandtable/internal/experiments"
 	"github.com/sandtable-go/sandtable/internal/explorer"
 	"github.com/sandtable-go/sandtable/internal/integrations"
@@ -121,6 +122,49 @@ func BenchmarkTable3Exploration(b *testing.B) {
 					b.ReportMetric(float64(wr.workers), "workers")
 				})
 			}
+		})
+	}
+}
+
+// BenchmarkConformance measures conformance-checking throughput (§3.2: walk
+// generation plus implementation-level replay on a fresh cluster per walk)
+// at 1, 4, and NumCPU replay workers, so scripts/bench.sh records the
+// parallel replay pool's scaling in BENCH_explorer.json alongside the
+// explorer sweep. The report is identical at every worker count (see
+// conformance.Options.Workers); only wall-clock changes.
+func BenchmarkConformance(b *testing.B) {
+	sys, err := integrations.Get("gosyncobj")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := spec.Config{Name: "n3w2", Nodes: 3, Workload: []string{"v1", "v2"}}
+	workerRuns := []struct {
+		label   string
+		workers int
+	}{
+		{"w1", 1},
+		{"w4", 4},
+		{"wmax", runtime.NumCPU()},
+	}
+	for _, wr := range workerRuns {
+		wr := wr
+		b.Run(wr.label, func(b *testing.B) {
+			var perSec float64
+			for i := 0; i < b.N; i++ {
+				st := sandtable.New(sys, cfg, sys.DefaultBudget, bugdb.NoBugs())
+				rep, err := st.Conform(conformance.Options{
+					Walks: 300, WalkDepth: 30, Seed: 1, Workers: wr.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Passed() {
+					b.Fatalf("aligned pair diverged: %v", rep.Discrepancy)
+				}
+				perSec = float64(rep.EventsChecked) / rep.Duration.Seconds()
+			}
+			b.ReportMetric(perSec, "events/s")
+			b.ReportMetric(float64(wr.workers), "workers")
 		})
 	}
 }

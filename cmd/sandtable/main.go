@@ -31,6 +31,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/ranking"
 	"github.com/sandtable-go/sandtable/internal/replay"
 	"github.com/sandtable-go/sandtable/internal/sandtable"
+	"github.com/sandtable-go/sandtable/internal/shrink"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
 	"github.com/sandtable-go/sandtable/internal/vos"
@@ -261,6 +262,26 @@ func resultSummary(res *explorer.Result) map[string]any {
 	return out
 }
 
+// shrinkTrace runs the ddmin minimizer over tr, printing the reduction
+// summary and merging the shrink counters into the metrics summary. On
+// failure (e.g. the trace does not reproduce under the oracle) it warns and
+// hands the original trace back, so -shrink never loses a counterexample.
+func shrinkTrace(m spec.Machine, tr *trace.Trace, oracle shrink.Oracle, o *obsSession, summary map[string]any) *trace.Trace {
+	res, err := shrink.Minimize(m, tr, oracle, shrink.Options{Metrics: o.reg, Tracer: o.tracer})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shrink: %v (keeping the original trace)\n", err)
+		return tr
+	}
+	fmt.Printf("shrink: %d -> %d events (%d removed, %d candidate(s) evaluated, %d spec-invalid)\n",
+		res.OriginalLen, res.MinimizedLen, res.Removed, res.Attempts, res.Invalid)
+	if summary != nil {
+		summary["shrink_original_len"] = res.OriginalLen
+		summary["shrink_minimized_len"] = res.MinimizedLen
+		summary["shrink_attempts"] = res.Attempts
+	}
+	return res.Trace
+}
+
 func (f *sessionFlags) session() (*sandtable.SandTable, error) {
 	sys, err := integrations.Get(*f.system)
 	if err != nil {
@@ -310,6 +331,7 @@ func runCheck(args []string) error {
 	ckEvery := fs.Duration("checkpoint-every", 0, "minimum wall-clock time between snapshots (default 60s once -checkpoint is set)")
 	ckStates := fs.Int("checkpoint-states", 0, "also snapshot every N newly discovered distinct states")
 	resume := fs.Bool("resume", false, "resume from the snapshot in the -checkpoint directory instead of starting fresh")
+	doShrink := fs.Bool("shrink", false, "minimize the counterexample with delta debugging (ddmin) before printing/writing it")
 	showTrace := fs.Bool("trace", true, "print the counterexample trace")
 	out := fs.String("o", "", "write the counterexample trace as JSON (replay it with `sandtable replay -trace <file>`)")
 	fs.Parse(args)
@@ -366,25 +388,33 @@ func runCheck(args []string) error {
 		return o.close(resultSummary(res))
 	}
 	fmt.Printf("VIOLATION: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
+	summary := resultSummary(res)
+	ctrace := v.Trace
+	if *doShrink {
+		// BFS counterexamples are depth-minimal, so this usually confirms
+		// 1-minimality rather than shrinking; random-walk traces (simulate
+		// -shrink) and divergences (conform -shrink) are where ddmin bites.
+		ctrace = shrinkTrace(st.Machine(), ctrace, shrink.InvariantOracle(st.Machine(), v.Invariant), o, summary)
+	}
 	if *showTrace {
-		fmt.Println(v.Trace.Format(false))
+		fmt.Println(ctrace.Format(false))
 	}
 	if *out != "" {
 		stopOut := o.reg.StartPhase("write-trace")
 		f, err := os.Create(*out)
 		if err != nil {
-			o.close(resultSummary(res))
+			o.close(summary)
 			return err
 		}
 		defer f.Close()
-		if err := v.Trace.Encode(f); err != nil {
-			o.close(resultSummary(res))
+		if err := ctrace.Encode(f); err != nil {
+			o.close(summary)
 			return err
 		}
 		stopOut()
 		fmt.Printf("trace written to %s\n", *out)
 	}
-	return o.close(resultSummary(res))
+	return o.close(summary)
 }
 
 // runReplay replays a saved trace against a fresh implementation cluster,
@@ -450,6 +480,7 @@ func runSimulate(args []string) error {
 	depth := fs.Int("depth", 0, "walk depth bound (0 = until deadlock)")
 	seed := fs.Int64("seed", 1, "base seed")
 	distinct := fs.Bool("distinct", false, "track distinct states across walks in a shared fingerprint set (coverage measurement)")
+	doShrink := fs.Bool("shrink", false, "minimize the first violating walk with delta debugging (ddmin)")
 	fs.Parse(args)
 
 	st, err := sf.session()
@@ -462,8 +493,8 @@ func runSimulate(args []string) error {
 	}
 	sim := explorer.NewSimulator(st.Machine(), explorer.SimOptions{
 		MaxDepth: *depth, Seed: *seed, CheckInvariants: true,
-		TrackDistinct: *distinct,
-		Progress:      o.progress, ProgressInterval: o.interval,
+		TrackDistinct: *distinct, RecordVars: *doShrink,
+		Progress: o.progress, ProgressInterval: o.interval,
 		Metrics: o.reg, Tracer: o.tracer,
 	})
 	stopSim := o.reg.StartPhase("simulate")
@@ -477,13 +508,7 @@ func runSimulate(args []string) error {
 		fmt.Printf("distinct states across walks: %d (%.1f%% of ~%d visits fresh)\n",
 			sim.Distinct(), 100*float64(agg.DistinctStates)/float64(max(1, visits)), visits)
 	}
-	for _, w := range results {
-		if w.Violation != nil {
-			fmt.Printf("first violating walk: %v\n", w.Violation)
-			break
-		}
-	}
-	return o.close(map[string]any{
+	summary := map[string]any{
 		"walks":           agg.Walks,
 		"branch_coverage": agg.BranchCoverage,
 		"event_diversity": agg.EventDiversity,
@@ -491,7 +516,18 @@ func runSimulate(args []string) error {
 		"mean_depth":      agg.MeanDepth,
 		"violations":      agg.Violations,
 		"distinct_states": agg.DistinctStates,
-	})
+	}
+	for _, w := range results {
+		if w.Violation != nil {
+			fmt.Printf("first violating walk: %v\n", w.Violation)
+			if *doShrink {
+				min := shrinkTrace(st.Machine(), w.Trace, shrink.InvariantOracle(st.Machine(), w.Violation.Invariant), o, summary)
+				fmt.Println(min.Format(false))
+			}
+			break
+		}
+	}
+	return o.close(summary)
 }
 
 func runRank(args []string) error {
@@ -528,6 +564,8 @@ func runConform(args []string) error {
 	walks := fs.Int("walks", 200, "random traces to replay")
 	depth := fs.Int("depth", 30, "trace depth bound")
 	seed := fs.Int64("seed", 1, "base seed")
+	workers := fs.Int("workers", 1, "parallel replay workers (each walk boots its own cluster; the first discrepancy is identical for every worker count)")
+	doShrink := fs.Bool("shrink", false, "minimize the discrepancy trace with delta debugging (ddmin) before printing it")
 	fs.Parse(args)
 
 	st, err := sf.session()
@@ -540,7 +578,7 @@ func runConform(args []string) error {
 	}
 	stopConform := o.reg.StartPhase("conform")
 	rep, err := st.Conform(conformance.Options{
-		Walks: *walks, WalkDepth: *depth, Seed: *seed,
+		Walks: *walks, WalkDepth: *depth, Seed: *seed, Workers: *workers,
 		Progress: o.progress, ProgressInterval: o.interval,
 		Metrics: o.reg, Tracer: o.tracer,
 	})
@@ -556,8 +594,16 @@ func runConform(args []string) error {
 		return o.close(summary)
 	}
 	fmt.Printf("DISCREPANCY: %v\n", rep.Discrepancy)
+	d := rep.Discrepancy
+	dtrace := d.Trace
+	if *doShrink {
+		oracle := shrink.DivergenceOracle(func(seed int64) (*engine.Cluster, error) {
+			return st.Sys.NewCluster(st.Config, st.ImplBugs, seed)
+		}, d.Seed, replay.Options{IgnoreVars: st.Sys.IgnoreVars, Observe: st.Sys.Observe}, d.Step)
+		dtrace = shrinkTrace(st.Machine(), dtrace, oracle, o, summary)
+	}
 	fmt.Println("trace prefix:")
-	fmt.Println(rep.Discrepancy.Trace.Format(false))
+	fmt.Println(dtrace.Format(false))
 	summary["discrepancy"] = rep.Discrepancy.Error()
 	return o.close(summary)
 }
@@ -567,6 +613,7 @@ func runConfirm(args []string) error {
 	sf := addSessionFlags(fs)
 	of := addObsFlags(fs)
 	pf := addPanicFlags(fs)
+	doShrink := fs.Bool("shrink", false, "minimize the counterexample with delta debugging (ddmin) before replaying it at the implementation level")
 	fs.Parse(args)
 
 	st, err := sf.session()
@@ -594,6 +641,10 @@ func runConfirm(args []string) error {
 		return fmt.Errorf("no violation found to confirm (%d states)", res.DistinctStates)
 	}
 	fmt.Printf("violation: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
+	ctrace := v.Trace
+	if *doShrink {
+		ctrace = shrinkTrace(st.Machine(), ctrace, shrink.InvariantOracle(st.Machine(), v.Invariant), o, summary)
+	}
 
 	stopReplay := o.reg.StartPhase("replay")
 	cluster, err := st.Sys.NewCluster(st.Config, st.ImplBugs, 1)
@@ -602,7 +653,7 @@ func runConfirm(args []string) error {
 		return err
 	}
 	pf.apply(cluster)
-	conf, err := replay.ConfirmBug(v.Trace, cluster, replay.Options{
+	conf, err := replay.ConfirmBug(ctrace, cluster, replay.Options{
 		IgnoreVars: st.Sys.IgnoreVars, Observe: st.Sys.Observe,
 		Tracer: o.tracer, Metrics: o.reg,
 	})

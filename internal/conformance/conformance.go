@@ -12,6 +12,8 @@ package conformance
 import (
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sandtable-go/sandtable/internal/engine"
@@ -47,6 +49,18 @@ type Options struct {
 	WalkDepth int
 	// Seed makes the run reproducible.
 	Seed int64
+	// Workers is the number of parallel replay workers (<= 1 runs the
+	// walks serially). Each walk is seeded by its index and replayed on a
+	// fresh cluster, so walks are independent; workers claim walk indices
+	// in order and the first discrepancy (lowest walk index) wins, so the
+	// Report — Walks, EventsChecked, and the Discrepancy's walk, seed,
+	// step, and diff keys — is identical for every worker count. Only
+	// scheduling-dependent side channels vary: tracer event interleaving
+	// (walk-start markers carry a "worker" detail), per-worker
+	// conformance.worker[i].walks counters, and replay.*/engine.* metric
+	// totals, which may include walks past the first discrepancy that
+	// other workers had already claimed.
+	Workers int
 	// Timeout stops the run early (the paper's stopping condition is a
 	// period with no discrepancies, e.g. 30 minutes; tests use seconds).
 	Timeout time.Duration
@@ -76,6 +90,8 @@ type Discrepancy struct {
 	Trace *trace.Trace
 }
 
+// Error renders the discrepancy as a one-line diagnostic naming the walk,
+// its seed, and the diverging step.
 func (d *Discrepancy) Error() string {
 	return fmt.Sprintf("conformance: walk %d (seed %d): %s", d.Walk, d.Seed, d.Step.Describe())
 }
@@ -93,7 +109,9 @@ type Report struct {
 func (r *Report) Passed() bool { return r.Discrepancy == nil }
 
 // Run performs one conformance round: Walks random traces, each replayed
-// from a fresh cluster, stopping at the first discrepancy.
+// from a fresh cluster, stopping at the first discrepancy. With
+// Options.Workers > 1 the walks are replayed by a worker pool; the report
+// is identical to a serial run (see Options.Workers).
 func Run(t *Target, opts Options) (*Report, error) {
 	if opts.Walks <= 0 {
 		opts.Walks = DefaultOptions().Walks
@@ -109,6 +127,30 @@ func Run(t *Target, opts Options) (*Report, error) {
 		interval = 5 * time.Second
 	}
 	reporter := obs.NewReporter(opts.Progress, interval, 0)
+
+	var rep *Report
+	var err error
+	if opts.Workers > 1 {
+		rep, err = runParallel(t, sim, reporter, opts, start)
+	} else {
+		rep, err = runSerial(t, sim, reporter, opts, start)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Duration = time.Since(start)
+	if opts.Progress != nil {
+		reporter.Emit(obs.Progress{
+			DistinctStates: rep.EventsChecked,
+			Transitions:    int64(rep.EventsChecked),
+			Depth:          rep.Walks,
+			Final:          true,
+		})
+	}
+	return rep, nil
+}
+
+func runSerial(t *Target, sim *explorer.Simulator, reporter *obs.Reporter, opts Options, start time.Time) (*Report, error) {
 	walksCtr := opts.Metrics.Counter("conformance.walks")
 	eventsCtr := opts.Metrics.Counter("conformance.events")
 
@@ -147,14 +189,128 @@ func Run(t *Target, opts Options) (*Report, error) {
 			Depth:          rep.Walks,
 		})
 	}
-	rep.Duration = time.Since(start)
-	if opts.Progress != nil {
-		reporter.Emit(obs.Progress{
-			DistinctStates: rep.EventsChecked,
-			Transitions:    int64(rep.EventsChecked),
-			Depth:          rep.Walks,
-			Final:          true,
-		})
+	return rep, nil
+}
+
+// walkSlot is one walk's outcome in a parallel round, filled in by whichever
+// worker claimed the walk.
+type walkSlot struct {
+	executed bool
+	steps    int
+	div      *replay.StepResult
+	tr       *trace.Trace
+	err      error
+}
+
+// runParallel replays walks on opts.Workers goroutines. Determinism scheme:
+// an atomic counter hands out walk indices in order; a worker never abandons
+// a claimed walk (except when the walk index is already past the lowest
+// known discrepancy, which a serial run would never reach); and the report
+// is assembled by a final in-order scan of the per-walk slots, stopping at
+// the first unexecuted slot or discrepancy. Because the lowest-discrepancy
+// watermark only decreases, every walk below the final discrepancy index is
+// guaranteed to have been executed, so the scan reproduces the serial
+// Walks / EventsChecked / Discrepancy exactly.
+func runParallel(t *Target, sim *explorer.Simulator, reporter *obs.Reporter, opts Options, start time.Time) (*Report, error) {
+	slots := make([]walkSlot, opts.Walks)
+	var (
+		next  atomic.Int64
+		found atomic.Int64 // lowest walk index with a discrepancy or error
+		mu    sync.Mutex   // guards reporter and the progress totals
+		wg    sync.WaitGroup
+
+		progWalks  int
+		progEvents int
+	)
+	found.Store(int64(opts.Walks))
+	opts.Metrics.Gauge("conformance.workers").Set(int64(opts.Workers))
+
+	lower := func(w int) {
+		for {
+			cur := found.Load()
+			if int64(w) >= cur || found.CompareAndSwap(cur, int64(w)) {
+				return
+			}
+		}
+	}
+
+	for wk := 0; wk < opts.Workers; wk++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			workerCtr := opts.Metrics.Counter(fmt.Sprintf("conformance.worker[%d].walks", worker))
+			for {
+				w := int(next.Add(1) - 1)
+				if w >= opts.Walks || int64(w) > found.Load() {
+					return
+				}
+				if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+					return
+				}
+				seed := opts.Seed + int64(w)
+				walk := sim.Walk(seed)
+				cluster, err := t.NewCluster(seed)
+				if err != nil {
+					slots[w] = walkSlot{executed: true, err: fmt.Errorf("conformance: boot cluster: %w", err)}
+					lower(w)
+					continue
+				}
+				if opts.Tracer != nil {
+					opts.Tracer.Emit(obs.Event{
+						Layer: "conformance", Kind: "walk-start", Node: -1,
+						Detail: map[string]string{
+							"walk": strconv.Itoa(w), "seed": strconv.FormatInt(seed, 10),
+							"depth": strconv.Itoa(walk.Stats.Depth), "worker": strconv.Itoa(worker),
+						},
+					})
+				}
+				res, err := runOne(t, walk.Trace, cluster, opts.Tracer, opts.Metrics)
+				if err != nil {
+					slots[w] = walkSlot{executed: true, err: err}
+					lower(w)
+					continue
+				}
+				slots[w] = walkSlot{executed: true, steps: res.Steps, div: res.Divergence, tr: walk.Trace}
+				workerCtr.Inc()
+				if res.Divergence != nil {
+					lower(w)
+					continue
+				}
+				mu.Lock()
+				progWalks++
+				progEvents += res.Steps
+				reporter.Maybe(obs.Progress{
+					DistinctStates: progEvents,
+					Transitions:    int64(progEvents),
+					Depth:          progWalks,
+				})
+				mu.Unlock()
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	// In-order scan: conformance.walks / conformance.events are counted
+	// here rather than in the workers so the counters match a serial run.
+	walksCtr := opts.Metrics.Counter("conformance.walks")
+	eventsCtr := opts.Metrics.Counter("conformance.events")
+	rep := &Report{}
+	for w := 0; w < opts.Walks; w++ {
+		s := &slots[w]
+		if !s.executed {
+			break
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+		rep.Walks++
+		walksCtr.Inc()
+		rep.EventsChecked += s.steps
+		eventsCtr.Add(int64(s.steps))
+		if s.div != nil {
+			rep.Discrepancy = &Discrepancy{Walk: w, Seed: opts.Seed + int64(w), Step: s.div, Trace: s.tr}
+			break
+		}
 	}
 	return rep, nil
 }
@@ -167,28 +323,14 @@ func runOne(t *Target, tr *trace.Trace, c *engine.Cluster, tracer *obs.Tracer, m
 		Tracer:          tracer,
 		Metrics:         metrics,
 	}
-	if t.ResourceCheck == nil {
-		return replay.Run(tr, c, opts)
-	}
-	// With a resource check installed, replay step by step so the check
-	// runs after every event.
-	res := &replay.Result{}
-	for i := range tr.Steps {
-		one := &trace.Trace{System: tr.System, Steps: tr.Steps[i : i+1]}
-		r, err := replay.Run(one, c, opts)
-		if err != nil {
-			return nil, err
-		}
-		res.Steps += r.Steps
-		if r.Divergence != nil {
-			r.Divergence.Step = i
-			res.Divergence = r.Divergence
-			return res, nil
-		}
-		if err := t.ResourceCheck(c); err != nil {
-			res.Divergence = &replay.StepResult{Step: i, Event: tr.Steps[i].Event, Err: err}
-			return res, nil
+	if t.ResourceCheck != nil {
+		// The check runs after every executed event via the replay-layer
+		// hook, so the walk stays a single replay: exactly one verdict
+		// event, step indices relative to the walk trace, and replay.steps
+		// metrics identical to runs without a resource check.
+		opts.AfterStep = func(step int, c *engine.Cluster) error {
+			return t.ResourceCheck(c)
 		}
 	}
-	return res, nil
+	return replay.Run(tr, c, opts)
 }

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"github.com/sandtable-go/sandtable/internal/engine"
 	"github.com/sandtable-go/sandtable/internal/fp"
+	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
 	"github.com/sandtable-go/sandtable/internal/vos"
@@ -149,6 +151,137 @@ func TestResourceCheckRunsPerEvent(t *testing.T) {
 	}
 	if calls != 3 {
 		t.Errorf("resource check ran %d times, want 3", calls)
+	}
+}
+
+// TestResourceCheckEmitsOneVerdictPerWalk is the regression test for the
+// spurious-verdict bug: replaying each step of a walk as its own sub-trace
+// made the tracer emit a replay-layer conform verdict after every event of
+// every walk, and the replay.steps counter disagreed with non-resource-check
+// mode. Both modes must emit exactly one verdict per walk and count the same
+// executed steps.
+func TestResourceCheckEmitsOneVerdictPerWalk(t *testing.T) {
+	run := func(resource bool) (verdicts int, steps int64, walks int) {
+		var buf bytes.Buffer
+		tracer := obs.NewTracer(&buf)
+		reg := obs.NewRegistry()
+		var rc func(*engine.Cluster) error
+		if resource {
+			rc = func(*engine.Cluster) error { return nil }
+		}
+		rep, err := Run(target(2, false, rc), Options{
+			Walks: 10, WalkDepth: 5, Seed: 1, Metrics: reg, Tracer: tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Passed() {
+			t.Fatalf("aligned pair diverged: %v", rep.Discrepancy)
+		}
+		if err := tracer.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		events, err := obs.ReadEvents(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range events {
+			if e.Layer == "replay" && (e.Kind == "conform" || e.Kind == "diverge") {
+				verdicts++
+			}
+		}
+		return verdicts, reg.Counter("replay.steps").Value(), rep.Walks
+	}
+
+	plainVerdicts, plainSteps, walks := run(false)
+	rcVerdicts, rcSteps, _ := run(true)
+	if plainVerdicts != walks {
+		t.Errorf("plain mode: %d verdicts for %d walks", plainVerdicts, walks)
+	}
+	if rcVerdicts != walks {
+		t.Errorf("resource-check mode emitted %d verdicts for %d walks, want exactly one per walk", rcVerdicts, walks)
+	}
+	if rcSteps != plainSteps {
+		t.Errorf("replay.steps = %d in resource-check mode, %d without — modes must agree", rcSteps, plainSteps)
+	}
+}
+
+// TestResourceCheckDivergenceStepIndex pins the step index of a resource
+// failure to the walk's trace index (it used to be relative to a one-step
+// sub-trace before being patched up by the caller).
+func TestResourceCheckDivergenceStepIndex(t *testing.T) {
+	calls := 0
+	rc := func(c *engine.Cluster) error {
+		calls++
+		if calls == 4 {
+			return fmt.Errorf("leak detected")
+		}
+		return nil
+	}
+	rep, err := Run(target(2, false, rc), Options{Walks: 5, WalkDepth: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed() {
+		t.Fatal("resource failure not reported")
+	}
+	if got := rep.Discrepancy.Step.Step; got != 3 {
+		t.Errorf("discrepancy step = %d, want 3 (the 4th executed event)", got)
+	}
+	if ev := rep.Discrepancy.Step.Event; ev.Action != "Increment" {
+		t.Errorf("discrepancy event = %v", ev)
+	}
+}
+
+// TestParallelMatchesSerial is the determinism contract of the worker pool:
+// for any worker count the report — walks, events checked, and the first
+// discrepancy's walk index, seed, step, event, and diff keys — must be
+// byte-identical to a serial run (Options.Workers documents why).
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		skew bool
+	}{
+		{"first-discrepancy", true},
+		{"clean-round", false},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var base *Report
+			for _, workers := range []int{1, 4, 8} {
+				rep, err := Run(target(2, tc.skew, nil), Options{
+					Walks: 60, WalkDepth: 5, Seed: 7, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if tc.skew == rep.Passed() {
+					t.Fatalf("workers=%d: passed=%v with skew=%v", workers, rep.Passed(), tc.skew)
+				}
+				if base == nil {
+					base = rep
+					continue
+				}
+				if rep.Walks != base.Walks || rep.EventsChecked != base.EventsChecked {
+					t.Errorf("workers=%d: walks/events = %d/%d, serial = %d/%d",
+						workers, rep.Walks, rep.EventsChecked, base.Walks, base.EventsChecked)
+				}
+				if tc.skew {
+					d, bd := rep.Discrepancy, base.Discrepancy
+					if d.Walk != bd.Walk || d.Seed != bd.Seed {
+						t.Errorf("workers=%d: discrepancy at walk %d (seed %d), serial at walk %d (seed %d)",
+							workers, d.Walk, d.Seed, bd.Walk, bd.Seed)
+					}
+					if d.Step.Step != bd.Step.Step || !d.Step.Event.Matches(bd.Step.Event) {
+						t.Errorf("workers=%d: diverging step %d (%v), serial step %d (%v)",
+							workers, d.Step.Step, d.Step.Event, bd.Step.Step, bd.Step.Event)
+					}
+					if fmt.Sprint(d.Step.DiffKeys) != fmt.Sprint(bd.Step.DiffKeys) {
+						t.Errorf("workers=%d: diff keys %v, serial %v", workers, d.Step.DiffKeys, bd.Step.DiffKeys)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -82,6 +82,12 @@ func DefaultOptions() Options {
 // Ranking holds the per-configuration sorted constraint lists.
 type Ranking struct {
 	ByConfig map[string][]*Entry
+	// Truncated reports that Options.Timeout expired before every
+	// (config, constraint) pair was walked: the lists only rank the pairs
+	// that ran, and later configurations may have no entries at all.
+	Truncated bool
+	// SkippedPairs counts the (config, constraint) pairs the timeout cut.
+	SkippedPairs int
 }
 
 // Rank runs Algorithm 1: for every configuration, walk every constraint,
@@ -100,7 +106,12 @@ func Rank(factory Factory, configs []spec.Config, budgets []spec.Budget, opts Op
 		var entries []*Entry
 		for _, b := range budgets {
 			if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
-				break
+				// The timeout cuts the run mid-config: record how many
+				// pairs never ran so the partial ranking is not mistaken
+				// for a complete one.
+				r.Truncated = true
+				r.SkippedPairs++
+				continue
 			}
 			m := factory(cfg, b)
 			sim := explorer.NewSimulator(m, explorer.SimOptions{
@@ -116,9 +127,13 @@ func Rank(factory Factory, configs []spec.Config, budgets []spec.Budget, opts Op
 	return r
 }
 
-// Top returns the n best constraints for a configuration.
+// Top returns the n best constraints for a configuration. Out-of-range n is
+// clamped to [0, len(entries)].
 func (r *Ranking) Top(config string, n int) []*Entry {
 	entries := r.ByConfig[config]
+	if n < 0 {
+		n = 0
+	}
 	if n > len(entries) {
 		n = len(entries)
 	}
@@ -140,6 +155,9 @@ func (r *Ranking) Format() string {
 			fmt.Fprintf(&b, "  %-16s %8d %8d %8d %10.1f\n",
 				e.Budget.Name, e.Stats.BranchCoverage, e.Stats.EventDiversity, e.Stats.MaxDepth, e.Stats.MeanDepth)
 		}
+	}
+	if r.Truncated {
+		fmt.Fprintf(&b, "WARNING: ranking truncated by timeout — %d (config, constraint) pair(s) were not walked\n", r.SkippedPairs)
 	}
 	return b.String()
 }

@@ -3,6 +3,7 @@ package ranking
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/specs/toy"
@@ -59,6 +60,61 @@ func TestRankIsDeterministic(t *testing.T) {
 	r2 := Rank(factory, cfgs, budgets, Options{WalksPerPair: 8, Seed: 5})
 	if r1.Format() != r2.Format() {
 		t.Error("same seed produced different rankings")
+	}
+}
+
+// TestTimeoutSurfacesTruncation is the regression test for the silent
+// mid-run timeout: Rank used to break out of the budget loop and hand back
+// a partial (or empty) entry list with no indication anything was skipped.
+func TestTimeoutSurfacesTruncation(t *testing.T) {
+	cfgs := []spec.Config{{Name: "a", Nodes: 2}, {Name: "b", Nodes: 2}}
+	budgets := []spec.Budget{{Name: "x", MaxDepth: 2}, {Name: "y", MaxDepth: 3}}
+	r := Rank(factory, cfgs, budgets, Options{WalksPerPair: 4, Seed: 1, Timeout: time.Nanosecond})
+	if !r.Truncated {
+		t.Fatal("timeout truncation not surfaced")
+	}
+	if r.SkippedPairs == 0 {
+		t.Error("no skipped pairs recorded despite immediate timeout")
+	}
+	ranked := 0
+	for _, entries := range r.ByConfig {
+		ranked += len(entries)
+	}
+	if ranked+r.SkippedPairs != len(cfgs)*len(budgets) {
+		t.Errorf("ranked %d + skipped %d != %d pairs", ranked, r.SkippedPairs, len(cfgs)*len(budgets))
+	}
+	if out := r.Format(); !strings.Contains(out, "truncated") {
+		t.Errorf("Format does not mention truncation:\n%s", out)
+	}
+}
+
+// TestCompleteRunIsNotTruncated guards the happy path.
+func TestCompleteRunIsNotTruncated(t *testing.T) {
+	cfgs := []spec.Config{{Name: "c", Nodes: 2}}
+	budgets := []spec.Budget{{Name: "only", MaxDepth: 2}}
+	r := Rank(factory, cfgs, budgets, Options{WalksPerPair: 4, Seed: 1})
+	if r.Truncated || r.SkippedPairs != 0 {
+		t.Errorf("untimed run marked truncated (skipped %d)", r.SkippedPairs)
+	}
+	if strings.Contains(r.Format(), "truncated") {
+		t.Error("Format mentions truncation on a complete run")
+	}
+}
+
+// TestTopGuardsBounds pins Top's behaviour at both ends: negative n must
+// not panic (it used to slice entries[:-1]) and oversized n is clamped.
+func TestTopGuardsBounds(t *testing.T) {
+	cfgs := []spec.Config{{Name: "c", Nodes: 2}}
+	budgets := []spec.Budget{{Name: "only", MaxDepth: 2}}
+	r := Rank(factory, cfgs, budgets, Options{WalksPerPair: 4, Seed: 1})
+	if top := r.Top("c", -1); len(top) != 0 {
+		t.Errorf("Top(-1) = %d entries, want 0", len(top))
+	}
+	if top := r.Top("c", 99); len(top) != 1 {
+		t.Errorf("Top(99) = %d entries, want 1", len(top))
+	}
+	if top := r.Top("missing", 3); len(top) != 0 {
+		t.Errorf("Top on unknown config = %d entries", len(top))
 	}
 }
 

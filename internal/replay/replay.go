@@ -92,6 +92,12 @@ type Options struct {
 	// Metrics, when set, is installed on the cluster and receives
 	// replay.steps / replay.divergences counters.
 	Metrics *obs.Registry
+	// AfterStep, when set, runs after every executed (convertible) event,
+	// following the state comparison for that step. A returned error is
+	// recorded as a divergence at the step's trace index. Conformance
+	// checking uses this for per-event resource checks (e.g. the CRaft#6
+	// buffer leak) without splitting the walk into sub-traces.
+	AfterStep func(step int, c *engine.Cluster) error
 }
 
 // Run replays a trace against the cluster.
@@ -127,6 +133,16 @@ func Run(t *trace.Trace, c *engine.Cluster, opts Options) (*Result, error) {
 			opts.Tracer.Emit(obs.Event{Layer: "replay", Kind: "diverge", Node: sr.Event.Node, Detail: detail})
 		}
 	}
+	// The final-state comparison of fast confirmation mode anchors on the
+	// last *convertible* step: a trace may end in EvInternal events (spec
+	// bookkeeping with no implementation command), and comparing only at the
+	// literal last index would silently skip the compare for such traces.
+	last := -1
+	for i := range t.Steps {
+		if _, ok := Convert(t.Steps[i].Event); ok {
+			last = i
+		}
+	}
 	for i, step := range t.Steps {
 		cmd, ok := Convert(step.Event)
 		if !ok {
@@ -140,7 +156,7 @@ func Run(t *trace.Trace, c *engine.Cluster, opts Options) (*Result, error) {
 			diverge(sr)
 			return res, nil
 		}
-		compare := opts.CompareEachStep || i == len(t.Steps)-1
+		compare := opts.CompareEachStep || i == last
 		if compare && step.Vars != nil {
 			impl, err := observe(c)
 			if err != nil {
@@ -151,6 +167,13 @@ func Run(t *trace.Trace, c *engine.Cluster, opts Options) (*Result, error) {
 				sr.DiffKeys = diff
 				sr.SpecVars = step.Vars
 				sr.ImplVars = impl
+				diverge(sr)
+				return res, nil
+			}
+		}
+		if opts.AfterStep != nil {
+			if err := opts.AfterStep(i, c); err != nil {
+				sr.Err = err
 				diverge(sr)
 				return res, nil
 			}

@@ -1,11 +1,137 @@
 package replay
 
 import (
+	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 
+	"github.com/sandtable-go/sandtable/internal/engine"
 	"github.com/sandtable-go/sandtable/internal/trace"
+	"github.com/sandtable-go/sandtable/internal/vos"
 )
+
+// countProc is a minimal process: each client request increments a counter.
+type countProc struct {
+	val int
+}
+
+func (p *countProc) Start(vos.Env)        { p.val = 0 }
+func (p *countProc) Receive(int, []byte)  {}
+func (p *countProc) Tick()                {}
+func (p *countProc) ClientRequest(string) { p.val++ }
+func (p *countProc) Observe() map[string]string {
+	return map[string]string{"count": strconv.Itoa(p.val)}
+}
+
+func countCluster(t *testing.T, nodes int) *engine.Cluster {
+	t.Helper()
+	c, err := engine.NewCluster(engine.Config{Nodes: nodes}, func(id int) vos.Process { return &countProc{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFinalCompareAfterTrailingInternal is the regression test for the fast
+// confirmation mode bug: when a trace ends in an EvInternal event, Convert
+// returns ok=false and the loop used to `continue` past the final-state
+// comparison entirely, silently confirming diverging replays. The final
+// comparison must anchor on the last convertible step instead.
+func TestFinalCompareAfterTrailingInternal(t *testing.T) {
+	tr := &trace.Trace{
+		System: "count",
+		Steps: []trace.Step{
+			{
+				Event: trace.Event{Type: trace.EvRequest, Action: "Increment", Node: 0, Payload: "inc"},
+				// The spec claims count[0]=2 after one increment; the
+				// implementation holds 1, so the final compare must diverge.
+				Vars: map[string]string{"count[0]": "2"},
+			},
+			{
+				Event: trace.Event{Type: trace.EvInternal, Action: "SpecBookkeeping", Node: 0},
+				Vars:  map[string]string{"count[0]": "2"},
+			},
+		},
+	}
+	res, err := Run(tr, countCluster(t, 1), Options{CompareEachStep: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 {
+		t.Errorf("converted steps = %d, want 1", res.Steps)
+	}
+	if res.Divergence == nil {
+		t.Fatal("fast-mode replay of an internal-terminated trace skipped the final-state comparison")
+	}
+	if res.Divergence.Step != 0 {
+		t.Errorf("divergence step = %d, want 0 (the last convertible step)", res.Divergence.Step)
+	}
+}
+
+// TestFinalCompareConformingTrailingInternal checks the conforming side: a
+// trace ending in internal events whose last convertible step agrees with
+// the implementation must still pass in fast mode.
+func TestFinalCompareConformingTrailingInternal(t *testing.T) {
+	tr := &trace.Trace{
+		System: "count",
+		Steps: []trace.Step{
+			{
+				Event: trace.Event{Type: trace.EvRequest, Action: "Increment", Node: 0, Payload: "inc"},
+				Vars:  map[string]string{"count[0]": "1"},
+			},
+			{
+				Event: trace.Event{Type: trace.EvInternal, Action: "SpecBookkeeping", Node: 0},
+				Vars:  map[string]string{"count[0]": "1"},
+			},
+		},
+	}
+	res, err := Run(tr, countCluster(t, 1), Options{CompareEachStep: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("conforming trace diverged: %s", res.Divergence.Describe())
+	}
+}
+
+// TestAfterStepHook verifies the per-step hook used by conformance resource
+// checks: it runs once per executed event and its error surfaces as a
+// divergence at the true trace step index.
+func TestAfterStepHook(t *testing.T) {
+	tr := &trace.Trace{
+		System: "count",
+		Steps: []trace.Step{
+			{Event: trace.Event{Type: trace.EvRequest, Action: "Increment", Node: 0, Payload: "inc"}, Vars: map[string]string{"count[0]": "1"}},
+			{Event: trace.Event{Type: trace.EvInternal, Action: "SpecBookkeeping", Node: 0}, Vars: map[string]string{"count[0]": "1"}},
+			{Event: trace.Event{Type: trace.EvRequest, Action: "Increment", Node: 0, Payload: "inc"}, Vars: map[string]string{"count[0]": "2"}},
+			{Event: trace.Event{Type: trace.EvRequest, Action: "Increment", Node: 0, Payload: "inc"}, Vars: map[string]string{"count[0]": "3"}},
+		},
+	}
+	calls := 0
+	res, err := Run(tr, countCluster(t, 1), Options{
+		CompareEachStep: true,
+		AfterStep: func(step int, c *engine.Cluster) error {
+			calls++
+			if calls == 2 {
+				return fmt.Errorf("leak detected")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("AfterStep ran %d times, want 2 (executed events only)", calls)
+	}
+	if res.Divergence == nil || res.Divergence.Err == nil {
+		t.Fatal("AfterStep error did not surface as a divergence")
+	}
+	if res.Divergence.Step != 2 {
+		t.Errorf("divergence step = %d, want 2 (the trace index, not the executed-event index)", res.Divergence.Step)
+	}
+}
 
 func TestConvertMapsEventFields(t *testing.T) {
 	ev := trace.Event{Type: trace.EvDeliver, Action: "HandleX", Node: 2, Peer: 1, Index: 3}

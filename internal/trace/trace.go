@@ -83,6 +83,16 @@ func (e Event) String() string {
 	return b.String()
 }
 
+// Matches reports whether two events denote the same scheduled action:
+// equal type, action, nodes, buffered-message index, and payload. Detail is
+// ignored — it carries free-form annotations, not scheduling identity. The
+// trace minimizer uses this to guide candidate sub-traces through the
+// specification machine.
+func (e Event) Matches(o Event) bool {
+	return e.Type == o.Type && e.Action == o.Action && e.Node == o.Node &&
+		e.Peer == o.Peer && e.Index == o.Index && e.Payload == o.Payload
+}
+
 // Step is one trace entry: the event taken and the specification state
 // (rendered variable map and fingerprint) reached after the event.
 type Step struct {

@@ -100,6 +100,32 @@ func TestDiagramRendersArrowsAndLocalEvents(t *testing.T) {
 	}
 }
 
+func TestEventMatches(t *testing.T) {
+	base := Event{Type: EvDeliver, Action: "HandleX", Node: 1, Peer: 0, Index: 2, Payload: "p"}
+	if !base.Matches(base) {
+		t.Error("event does not match itself")
+	}
+	withDetail := base
+	withDetail.Detail = map[string]string{"note": "x"}
+	if !base.Matches(withDetail) {
+		t.Error("detail must not affect matching")
+	}
+	for _, mut := range []func(*Event){
+		func(e *Event) { e.Type = EvTimeout },
+		func(e *Event) { e.Action = "HandleY" },
+		func(e *Event) { e.Node = 2 },
+		func(e *Event) { e.Peer = 1 },
+		func(e *Event) { e.Index = 0 },
+		func(e *Event) { e.Payload = "q" },
+	} {
+		ev := base
+		mut(&ev)
+		if base.Matches(ev) {
+			t.Errorf("mutated event %v must not match %v", ev, base)
+		}
+	}
+}
+
 func TestEventsAccessor(t *testing.T) {
 	evs := sample().Events()
 	if len(evs) != 4 || evs[0].Action != "TimeoutElection" {

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Runs BenchmarkTable3Exploration (the guard benchmark for explorer hot-path
-# changes, e.g. observability instrumentation) and writes BENCH_explorer.json
-# with the raw `go test -bench` lines plus parsed ns/op numbers.
+# Runs the perf-trajectory benchmarks — BenchmarkTable3Exploration (the
+# guard benchmark for explorer hot-path changes, e.g. observability
+# instrumentation) and BenchmarkConformance (the parallel replay pool's
+# workers sweep) — and writes BENCH_explorer.json with the raw
+# `go test -bench` lines plus parsed per-run numbers.
 #
 # Usage: scripts/bench.sh [count]   (default: 3 runs per benchmark)
 set -eu
@@ -12,22 +14,24 @@ OUT=BENCH_explorer.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench BenchmarkTable3Exploration -benchmem -count "$COUNT" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkTable3Exploration|BenchmarkConformance' -benchmem -count "$COUNT" . | tee "$RAW"
 
-# Render the raw lines into a small JSON report.
+# Render the raw lines into a small JSON report. Exploration runs carry
+# states/s, conformance runs events/s; the field the run lacks stays null.
 awk -v count="$COUNT" '
-BEGIN { print "{"; printf "  \"benchmark\": \"BenchmarkTable3Exploration\",\n  \"count\": %d,\n  \"runs\": [\n", count }
+BEGIN { print "{"; printf "  \"benchmarks\": [\"BenchmarkTable3Exploration\", \"BenchmarkConformance\"],\n  \"count\": %d,\n  \"runs\": [\n", count }
 /^Benchmark/ {
-    ns = b = a = sps = w = "null"
+    ns = b = a = sps = eps = w = "null"
     for (i = 3; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i - 1)
         else if ($i == "B/op") b = $(i - 1)
         else if ($i == "allocs/op") a = $(i - 1)
         else if ($i == "states/s") sps = $(i - 1)
+        else if ($i == "events/s") eps = $(i - 1)
         else if ($i == "workers") w = $(i - 1)
     }
     sep = (n++ ? ",\n" : "")
-    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"workers\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $1, $2, w, ns, sps, b, a
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"workers\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"events_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $1, $2, w, ns, sps, eps, b, a
 }
 END { print "\n  ]\n}" }
 ' "$RAW" > "$OUT"

@@ -5,8 +5,9 @@
 #   - any Go file is not gofmt-formatted,
 #   - `go vet` reports a problem,
 #   - an exported identifier in the audited packages (internal/fpset,
-#     internal/explorer, internal/ranking, internal/scenario) lacks a doc
-#     comment, or an audited package lacks a package doc comment,
+#     internal/explorer, internal/ranking, internal/scenario,
+#     internal/shrink, internal/conformance) lacks a doc comment, or an
+#     audited package lacks a package doc comment,
 #   - a relative link in any *.md file points at a missing file.
 set -eu
 cd "$(dirname "$0")/.."

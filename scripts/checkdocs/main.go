@@ -2,8 +2,9 @@
 // scripts/checkdocs.sh as part of `make ci`. It enforces two rules:
 //
 //  1. Every exported identifier in the audited packages (internal/fpset,
-//     internal/explorer, internal/ranking, internal/scenario) carries a doc
-//     comment, and every audited package has a package-level doc comment.
+//     internal/explorer, internal/ranking, internal/scenario,
+//     internal/shrink, internal/conformance) carries a doc comment, and
+//     every audited package has a package-level doc comment.
 //  2. Every relative link in the repository's *.md files resolves to an
 //     existing file.
 //
@@ -29,6 +30,8 @@ var auditedPackages = []string{
 	"internal/explorer",
 	"internal/ranking",
 	"internal/scenario",
+	"internal/shrink",
+	"internal/conformance",
 }
 
 func main() {
