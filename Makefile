@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-conform fuzz docs ci bench clean
+.PHONY: all build vet test race race-conform fuzz docs ci bench benchdiff clean
 
 all: ci
 
@@ -45,5 +45,12 @@ ci: build vet docs race race-conform fuzz
 bench:
 	./scripts/bench.sh
 
+# benchdiff runs a fresh single-count benchmark into a scratch file and
+# prints per-system throughput / bytes-per-op / allocs-per-op deltas against
+# the committed BENCH_explorer.json, without overwriting the baseline.
+benchdiff:
+	BENCH_OUT=.bench_fresh.json ./scripts/bench.sh 1
+	$(GO) run ./scripts/benchdiff BENCH_explorer.json .bench_fresh.json
+
 clean:
-	rm -f BENCH_explorer.json
+	rm -f BENCH_explorer.json .bench_fresh.json

@@ -120,6 +120,10 @@ func BenchmarkTable3Exploration(b *testing.B) {
 					}
 					b.ReportMetric(perSec, "states/s")
 					b.ReportMetric(float64(wr.workers), "workers")
+					// GOMAXPROCS makes the workers column interpretable: on a
+					// 1-CPU machine wmax legitimately records workers=1, and
+					// only this field distinguishes that from a parse bug.
+					b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 				})
 			}
 		})
@@ -165,6 +169,7 @@ func BenchmarkConformance(b *testing.B) {
 			}
 			b.ReportMetric(perSec, "events/s")
 			b.ReportMetric(float64(wr.workers), "workers")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 		})
 	}
 }

@@ -1,0 +1,29 @@
+package explorer
+
+import "testing"
+
+// TestAllocsPerState pins the expansion pipeline's allocation budget: a
+// full single-worker BFS over the toy space must stay under a fixed number
+// of heap allocations per distinct state. The toy spec implements
+// spec.BufferedMachine with a flat-backed clone, so the steady-state cost
+// per state is the clone's few backing arrays plus amortised fingerprint-set
+// growth; a regression in the pooled-buffer discipline (successor slices,
+// frontier double-buffering, per-worker scratch) shows up here as a jump.
+// The bound has ~1.5x headroom over the measured value (~5.3) so it only
+// trips on structural regressions, not allocator noise.
+func TestAllocsPerState(t *testing.T) {
+	const maxAllocsPerState = 8.0
+	var distinct int
+	allocs := testing.AllocsPerRun(5, func() {
+		res := NewChecker(newToy(4, false), Options{Workers: 1}).Run()
+		if res.DistinctStates == 0 {
+			t.Fatal("no states explored")
+		}
+		distinct = res.DistinctStates
+	})
+	perState := allocs / float64(distinct)
+	t.Logf("allocs/run=%.0f distinct=%d allocs/state=%.2f", allocs, distinct, perState)
+	if perState > maxAllocsPerState {
+		t.Errorf("allocations per distinct state = %.2f, want <= %.1f", perState, maxAllocsPerState)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/fpset"
 	"github.com/sandtable-go/sandtable/internal/obs"
+	"github.com/sandtable-go/sandtable/internal/spec"
 )
 
 // CheckpointOptions configures periodic exploration snapshots — the
@@ -432,9 +433,11 @@ func (c *Checker) rebuildFrontier(depth int, want map[uint64]bool) ([]frontierEn
 func (c *Checker) replayExpand(entries []frontierEntry, workers int) []frontierEntry {
 	expandOne := func(fes []frontierEntry) []frontierEntry {
 		var out []frontierEntry
+		var buf []spec.Succ // goroutine-local, reused across the slice
 		for _, fe := range fes {
-			for _, su := range c.m.Next(fe.state) {
-				out = append(out, frontierEntry{state: su.State, fp: c.canonicalFP(su.State)})
+			buf = c.nextInto(fe.state, buf[:0])
+			for i := range buf {
+				out = append(out, frontierEntry{state: buf[i].State, fp: c.canonicalFP(buf[i].State)})
 			}
 		}
 		return out

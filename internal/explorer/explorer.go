@@ -11,23 +11,29 @@
 // faster than stateless implementation-level exploration. Counterexamples
 // found by BFS have minimal depth.
 //
-// Expansion workers probe-and-insert into the sharded fingerprint set
-// concurrently; there is no serial deduplication barrier. Results remain
-// deterministic regardless of worker count and scheduling: the set breaks
-// equal-depth parent ties by smallest parent fingerprint, each BFS level is
-// sorted by fingerprint before the next level is expanded, and violations
-// are reported in (depth, fingerprint) order.
+// Expansion runs on a persistent worker pool: Options.Workers goroutines
+// are started once per Run, and each block of the frontier is fed to them
+// as dynamically sized sub-chunks claimed off an atomic cursor, so load
+// balances even when successor counts vary wildly across states. Workers
+// probe-and-insert into the sharded fingerprint set concurrently; there is
+// no serial deduplication barrier. Results remain deterministic regardless
+// of worker count and scheduling: the set breaks equal-depth parent ties by
+// smallest parent fingerprint, each BFS level is sorted by fingerprint
+// before the next level is expanded, and violations are reported in
+// (depth, fingerprint) order.
 //
 // Long runs can snapshot their fingerprint set and frontier to disk and be
 // resumed after an interruption; see CheckpointOptions.
 package explorer
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sandtable-go/sandtable/internal/fpset"
@@ -182,9 +188,14 @@ type Checker struct {
 	m    spec.Machine
 	opts Options
 
+	// bm is non-nil when the machine supports pooled successor enumeration
+	// (spec.BufferedMachine); the type assertion is done once here, never on
+	// the hot path.
+	bm spec.BufferedMachine
+
 	sym   spec.Symmetric
 	fast  spec.FastSymmetric
-	perms [][]int
+	perms [][]int // non-identity permutations only
 
 	visited *fpset.Set
 
@@ -195,16 +206,35 @@ type Checker struct {
 // NewChecker builds a checker for machine m.
 func NewChecker(m spec.Machine, opts Options) *Checker {
 	c := &Checker{m: m, opts: opts, visited: fpset.New(opts.FPSetShards)}
+	c.bm, _ = m.(spec.BufferedMachine)
 	if opts.Symmetry {
 		if sym, ok := m.(spec.Symmetric); ok && sym.NumNodes() > 1 {
 			c.sym = sym
-			c.perms = spec.Permutations(sym.NumNodes())
+			// The identity permutation is dropped once here: canonicalFP
+			// starts from the plain fingerprint, so the hot loop never has
+			// to re-test for it.
+			for _, p := range spec.Permutations(sym.NumNodes()) {
+				if !isIdentity(p) {
+					c.perms = append(c.perms, p)
+				}
+			}
 			if fast, ok := m.(spec.FastSymmetric); ok {
 				c.fast = fast
 			}
 		}
 	}
 	return c
+}
+
+// nextInto enumerates s's successors into buf, reusing its capacity, when
+// the machine supports pooled enumeration; otherwise it falls back to the
+// allocating Next path. Callers own buf and must consume the result before
+// the next call with the same buffer.
+func (c *Checker) nextInto(s spec.State, buf []spec.Succ) []spec.Succ {
+	if c.bm != nil {
+		return c.bm.AppendNext(s, buf)
+	}
+	return append(buf, c.m.Next(s)...)
 }
 
 // canonicalFP returns the symmetry-reduced fingerprint of s: the minimum
@@ -216,9 +246,6 @@ func (c *Checker) canonicalFP(s spec.State) uint64 {
 		return fp
 	}
 	for _, p := range c.perms {
-		if isIdentity(p) {
-			continue
-		}
 		var pf uint64
 		if c.fast != nil {
 			pf = c.fast.PermutedFingerprint(s, p)
@@ -371,6 +398,15 @@ func (c *Checker) Run() *Result {
 		deadline = start.Add(c.opts.Deadline)
 	}
 
+	// The pool's goroutines live for the whole run; blocks are fed to them,
+	// not spawned onto fresh goroutines.
+	pool := c.newExpandPool(workers, invs)
+	defer pool.close()
+	// spare recycles the previous level's frontier backing as the next
+	// level's accumulation buffer (double buffering): after warm-up, level
+	// turnover allocates nothing.
+	var spare []frontierEntry
+
 	for len(frontier) > 0 {
 		if c.opts.StopAtFirstViolation && len(res.Violations) > 0 {
 			stop = "violation"
@@ -398,25 +434,18 @@ func (c *Checker) Run() *Result {
 		// the serial part of a block is only appending the fresh states and
 		// folding counters.
 		const block = 1 << 14
-		var next []frontierEntry
+		next := spare[:0]
 		var levelViolations []*Violation
 		partialLevel := false
 		for lo := 0; lo < len(frontier); lo += block {
 			hi := min(lo+block, len(frontier))
-			out := c.expandInsert(frontier[lo:hi], depth, workers, invs)
+			pool.expand(frontier[lo:hi], depth)
 			// The block's states are fully expanded: release them so the
 			// peak footprint is one level plus one block, not two levels.
 			for k := lo; k < hi; k++ {
 				frontier[k].state = nil
 			}
-			res.Transitions += out.work
-			res.DedupHits += out.dedup
-			res.DistinctStates += len(out.fresh)
-			next = append(next, out.fresh...)
-			if out.goal {
-				res.GoalReached = true
-			}
-			levelViolations = append(levelViolations, out.viols...)
+			pool.drainInto(res, &next, &levelViolations)
 			// Block boundary: cheap queue-length bookkeeping and (when
 			// configured) progress/metrics publication. Never per state.
 			queueLen := (len(frontier) - hi) + len(next)
@@ -452,6 +481,7 @@ func (c *Checker) Run() *Result {
 		// level order, block composition — and therefore every block-level
 		// stop decision above — is identical across runs and worker counts.
 		sortFrontier(next)
+		spare = frontier[:0]
 		frontier = next
 		if len(frontier) > 0 {
 			res.MaxDepth = depth
@@ -506,24 +536,26 @@ func (c *Checker) Run() *Result {
 }
 
 func sortFrontier(fs []frontierEntry) {
-	sort.Slice(fs, func(i, j int) bool { return fs[i].fp < fs[j].fp })
+	slices.SortFunc(fs, func(a, b frontierEntry) int { return cmp.Compare(a.fp, b.fp) })
 }
 
 // sortViolations orders violations by (depth, state fingerprint, invariant
 // name) — a total order independent of discovery order.
 func sortViolations(vs []*Violation) {
-	sort.Slice(vs, func(i, j int) bool {
-		if vs[i].Depth != vs[j].Depth {
-			return vs[i].Depth < vs[j].Depth
+	slices.SortFunc(vs, func(a, b *Violation) int {
+		if c := cmp.Compare(a.Depth, b.Depth); c != 0 {
+			return c
 		}
-		if vs[i].fp != vs[j].fp {
-			return vs[i].fp < vs[j].fp
+		if c := cmp.Compare(a.fp, b.fp); c != 0 {
+			return c
 		}
-		return vs[i].Invariant < vs[j].Invariant
+		return cmp.Compare(a.Invariant, b.Invariant)
 	})
 }
 
-// chunkOut is one worker's share of a block expansion.
+// chunkOut accumulates one worker's share of a block expansion. It lives on
+// the worker and is reused block after block: fresh keeps its capacity
+// across drains, so the steady state allocates nothing here.
 type chunkOut struct {
 	fresh []frontierEntry
 	work  int64
@@ -532,49 +564,137 @@ type chunkOut struct {
 	goal  bool
 }
 
-// expandInsert expands the given frontier slice and inserts every successor
-// into the fingerprint set, fanning the expensive work (Next enumeration,
-// cloning, canonical fingerprints, set insertion, invariant checks on fresh
-// states) across workers. Only newly discovered states are returned.
-func (c *Checker) expandInsert(frontier []frontierEntry, depth, workers int, invs []spec.Invariant) chunkOut {
-	if len(frontier) < 2*workers || workers == 1 {
-		return c.expandInsertChunk(frontier, depth, invs)
-	}
-	chunks := workers
-	outs := make([]chunkOut, chunks)
-	var wg sync.WaitGroup
-	size := (len(frontier) + chunks - 1) / chunks
-	for i := 0; i < chunks; i++ {
-		lo := i * size
-		hi := min(lo+size, len(frontier))
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			outs[i] = c.expandInsertChunk(frontier[lo:hi], depth, invs)
-		}(i, lo, hi)
-	}
-	wg.Wait()
-	var all chunkOut
-	for i := range outs {
-		all.fresh = append(all.fresh, outs[i].fresh...)
-		all.work += outs[i].work
-		all.dedup += outs[i].dedup
-		all.viols = append(all.viols, outs[i].viols...)
-		all.goal = all.goal || outs[i].goal
-	}
-	return all
+// expandWorker is one member of the persistent expansion pool. Its scratch
+// buffer (pooled successor enumeration) and accumulators live as long as
+// the pool, so per-block allocation is amortised away.
+type expandWorker struct {
+	c   *Checker
+	buf []spec.Succ
+	out chunkOut
 }
 
-func (c *Checker) expandInsertChunk(entries []frontierEntry, depth int, invs []spec.Invariant) chunkOut {
-	var out chunkOut
+// expandJob is one frontier block broadcast to the pool. Workers claim
+// dynamically sized sub-chunks by bumping cursor; a worker that draws
+// expensive states simply claims fewer chunks.
+type expandJob struct {
+	entries []frontierEntry
+	depth   int
+	chunk   int
+	cursor  atomic.Int64
+	done    sync.WaitGroup
+}
+
+// expandPool is the persistent expansion worker pool: workers goroutines
+// started once per Run and fed frontier blocks until close. Worker 0 is the
+// caller's goroutine — with Workers=1 the pool spawns nothing and expansion
+// runs inline.
+type expandPool struct {
+	c    *Checker
+	invs []spec.Invariant
+	ws   []*expandWorker
+	jobs []chan *expandJob // one channel per background worker (ws[1:])
+}
+
+func (c *Checker) newExpandPool(workers int, invs []spec.Invariant) *expandPool {
+	p := &expandPool{c: c, invs: invs, ws: make([]*expandWorker, workers)}
+	for i := range p.ws {
+		p.ws[i] = &expandWorker{c: c}
+	}
+	p.jobs = make([]chan *expandJob, workers-1)
+	for i := range p.jobs {
+		ch := make(chan *expandJob, 1)
+		p.jobs[i] = ch
+		w := p.ws[i+1]
+		go func() {
+			for job := range ch {
+				w.run(p, job)
+				job.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// close shuts the pool's background goroutines down. The pool must be
+// quiescent (no expand in flight).
+func (p *expandPool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// expand fans one frontier block across the pool and returns when every
+// state in it has been expanded and inserted. Small blocks skip the
+// broadcast and run inline on the caller's goroutine.
+func (p *expandPool) expand(entries []frontierEntry, depth int) {
+	workers := len(p.ws)
+	if workers == 1 || len(entries) < 2*workers {
+		p.ws[0].expandChunk(p, entries, depth)
+		return
+	}
+	job := &expandJob{entries: entries, depth: depth, chunk: chunkSize(len(entries), workers)}
+	job.done.Add(len(p.jobs))
+	for _, ch := range p.jobs {
+		ch <- job
+	}
+	p.ws[0].run(p, job)
+	job.done.Wait()
+}
+
+// drainInto folds every worker's accumulators into the caller's level state
+// and resets them for the next block. The fresh slices keep their capacity;
+// their state pointers are cleared so drained states do not outlive the
+// level in worker-owned memory.
+func (p *expandPool) drainInto(res *Result, next *[]frontierEntry, viols *[]*Violation) {
+	for _, w := range p.ws {
+		out := &w.out
+		res.Transitions += out.work
+		res.DedupHits += out.dedup
+		res.DistinctStates += len(out.fresh)
+		*next = append(*next, out.fresh...)
+		if out.goal {
+			res.GoalReached = true
+		}
+		*viols = append(*viols, out.viols...)
+		for i := range out.fresh {
+			out.fresh[i].state = nil
+		}
+		out.fresh = out.fresh[:0]
+		out.work, out.dedup, out.viols, out.goal = 0, 0, nil, false
+	}
+}
+
+// chunkSize picks the dynamic sub-chunk length for a block: small enough
+// that each worker claims many chunks (so uneven successor counts balance
+// out), large enough to amortise the atomic cursor bump.
+func chunkSize(n, workers int) int {
+	return max(16, min(1024, n/(workers*16)))
+}
+
+// run claims sub-chunks off the job's cursor until the block is exhausted.
+func (w *expandWorker) run(p *expandPool, job *expandJob) {
+	for {
+		end := int(job.cursor.Add(int64(job.chunk)))
+		lo := end - job.chunk
+		if lo >= len(job.entries) {
+			return
+		}
+		w.expandChunk(p, job.entries[lo:min(end, len(job.entries))], job.depth)
+	}
+}
+
+// expandChunk expands one sub-chunk: pooled successor enumeration,
+// canonical fingerprints, probe-and-insert into the shared fingerprint set,
+// and goal/invariant checks on fresh states. Results accumulate on the
+// worker until the block-level drain.
+func (w *expandWorker) expandChunk(p *expandPool, entries []frontierEntry, depth int) {
+	c := w.c
+	out := &w.out
 	goal := c.opts.Goal
 	for _, fe := range entries {
-		succs := c.m.Next(fe.state)
-		out.work += int64(len(succs))
-		for _, su := range succs {
+		w.buf = c.nextInto(fe.state, w.buf[:0])
+		out.work += int64(len(w.buf))
+		for _, su := range w.buf {
 			fp := c.canonicalFP(su.State)
 			if !c.visited.Insert(fp, fe.fp, int32(depth)) {
 				out.dedup++
@@ -584,19 +704,11 @@ func (c *Checker) expandInsertChunk(entries []frontierEntry, depth int, invs []s
 			if goal != nil && !out.goal && goal(su.State) {
 				out.goal = true
 			}
-			if v := checkInvariants(invs, su.State, depth, fp); v != nil {
+			if v := checkInvariants(p.invs, su.State, depth, fp); v != nil {
 				out.viols = append(out.viols, v)
 			}
 		}
 	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func checkInvariants(invs []spec.Invariant, s spec.State, depth int, fp uint64) *Violation {

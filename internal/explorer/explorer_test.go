@@ -1,6 +1,7 @@
 package explorer
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -59,19 +60,65 @@ func TestBFSAtomicModelHasNoViolation(t *testing.T) {
 	}
 }
 
+// resultSignature renders every externally observable field of a Result —
+// counters, stop metadata, and each violation with its reconstructed trace —
+// so two runs can be compared for exact equality.
+func resultSignature(t *testing.T, res *Result) string {
+	t.Helper()
+	sig := fmt.Sprintf("distinct=%d transitions=%d dedup=%d maxqueue=%d maxdepth=%d stop=%q exhausted=%v goal=%v violations=%d\n",
+		res.DistinctStates, res.Transitions, res.DedupHits, res.MaxQueueLen,
+		res.MaxDepth, res.StopReason, res.Exhausted, res.GoalReached, len(res.Violations))
+	for _, v := range res.Violations {
+		sig += v.String() + "\n"
+		if v.Trace != nil {
+			sig += v.Trace.Format(true) + "\n"
+		}
+	}
+	return sig
+}
+
+// TestBFSExhaustsAndIsDeterministic asserts the checker's central contract:
+// byte-identical results regardless of worker count — not just the distinct
+// state count, but every counter, the stop reason, and every reconstructed
+// counterexample. Three stop regimes are crossed with Workers ∈ {1,2,4,8}:
+// exhaustive search (violations recorded, exploration continues),
+// stop-at-first-violation, and a MaxStates bound that lands mid-level (the
+// N=7 space has >16k-state frontiers, so the bound trips at an interior
+// block boundary and the partial-level stop path must also be scheduling-
+// independent).
 func TestBFSExhaustsAndIsDeterministic(t *testing.T) {
-	run := func(workers int) *Result {
-		return NewChecker(newToy(3, false), Options{Workers: workers}).Run()
+	scenarios := []struct {
+		name string
+		mk   func() spec.Machine
+		opts Options
+	}{
+		{"exhaustive", func() spec.Machine { return newToy(3, false) }, Options{RecordVars: true}},
+		{"stop-at-first-violation", func() spec.Machine { return newToy(3, false) },
+			Options{StopAtFirstViolation: true, RecordVars: true}},
+		{"max-states-mid-level", func() spec.Machine { return newToy(7, false) },
+			Options{MaxStates: 40_000}},
 	}
-	a, b := run(1), run(4)
-	if a.DistinctStates != b.DistinctStates {
-		t.Errorf("distinct states differ across worker counts: %d vs %d", a.DistinctStates, b.DistinctStates)
-	}
-	if a.DistinctStates == 0 {
-		t.Fatal("no states explored")
-	}
-	if !a.Exhausted && a.StopReason != "violation" {
-		t.Errorf("unexpected stop reason %q", a.StopReason)
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var base string
+			for _, workers := range []int{1, 2, 4, 8} {
+				opts := sc.opts
+				opts.Workers = workers
+				res := NewChecker(sc.mk(), opts).Run()
+				if res.DistinctStates == 0 {
+					t.Fatal("no states explored")
+				}
+				sig := resultSignature(t, res)
+				if base == "" {
+					base = sig
+					continue
+				}
+				if sig != base {
+					t.Errorf("workers=%d diverged from workers=1:\n--- w1 ---\n%s--- w%d ---\n%s",
+						workers, base, workers, sig)
+				}
+			}
+		})
 	}
 }
 

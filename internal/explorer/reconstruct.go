@@ -51,12 +51,13 @@ func (c *Checker) reconstruct(v *Violation) *trace.Trace {
 	if c.opts.RecordVars {
 		t.Init = cur.Vars()
 	}
+	var buf []spec.Succ
 	for _, want := range chain[1:] {
+		buf = c.nextInto(cur, buf[:0])
 		var found *spec.Succ
-		for _, su := range c.m.Next(cur) {
-			su := su
-			if c.canonicalFP(su.State) == want {
-				found = &su
+		for i := range buf {
+			if c.canonicalFP(buf[i].State) == want {
+				found = &buf[i]
 				break
 			}
 		}

@@ -75,10 +75,15 @@ type WalkResult struct {
 	Elapsed   time.Duration
 }
 
-// Simulator runs seeded random walks over a specification.
+// Simulator runs seeded random walks over a specification. Its methods are
+// safe for concurrent use (conformance checking shares one Simulator across
+// goroutines): walk-local scratch lives on the stack, never the Simulator.
 type Simulator struct {
 	m    spec.Machine
 	opts SimOptions
+
+	// bm is non-nil when the machine supports pooled successor enumeration.
+	bm spec.BufferedMachine
 
 	// distinct deduplicates states across walks (nil unless TrackDistinct).
 	distinct *fpset.Set
@@ -87,6 +92,7 @@ type Simulator struct {
 // NewSimulator builds a simulator for machine m.
 func NewSimulator(m spec.Machine, opts SimOptions) *Simulator {
 	s := &Simulator{m: m, opts: opts}
+	s.bm, _ = m.(spec.BufferedMachine)
 	if opts.TrackDistinct {
 		s.distinct = fpset.New(1)
 	}
@@ -125,8 +131,18 @@ func (s *Simulator) Walk(seed int64) *WalkResult {
 		res.Stats.FreshStates++
 	}
 
+	// buf is walk-local (Walk must stay goroutine-safe) but reused across
+	// the walk's steps, so successor enumeration allocates per step only
+	// while the buffer is still growing to the walk's fan-out high-water.
+	var buf []spec.Succ
 	for depth := 0; s.opts.MaxDepth == 0 || depth < s.opts.MaxDepth; depth++ {
-		succs := s.m.Next(cur)
+		var succs []spec.Succ
+		if s.bm != nil {
+			buf = s.bm.AppendNext(cur, buf[:0])
+			succs = buf
+		} else {
+			succs = s.m.Next(cur)
+		}
 		if len(succs) == 0 {
 			res.Stats.Terminal = "deadlock"
 			break

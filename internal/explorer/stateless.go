@@ -89,6 +89,12 @@ func StatelessSearch(m spec.Machine, opts StatelessOptions) *StatelessResult {
 	if opts.TrackDistinct {
 		distinct = fpset.New(1)
 	}
+	// With a BufferedMachine, each DFS depth owns one reusable successor
+	// buffer: a parent is still iterating its buffer while its children
+	// enumerate, so buffers cannot be shared across levels, but within a
+	// level every sibling reuses the same one.
+	bm, _ := m.(spec.BufferedMachine)
+	var bufs [][]spec.Succ
 
 	var dfs func(s spec.State, depth int) bool // returns false to abort
 	dfs = func(s spec.State, depth int) bool {
@@ -120,13 +126,22 @@ func StatelessSearch(m spec.Machine, opts StatelessOptions) *StatelessResult {
 			res.Executions++
 			return true
 		}
-		succs := m.Next(s)
+		var succs []spec.Succ
+		if bm != nil {
+			for depth >= len(bufs) {
+				bufs = append(bufs, nil)
+			}
+			bufs[depth] = bm.AppendNext(s, bufs[depth][:0])
+			succs = bufs[depth]
+		} else {
+			succs = m.Next(s)
+		}
 		if len(succs) == 0 {
 			res.Executions++
 			return true
 		}
-		for _, su := range succs {
-			if !dfs(su.State, depth+1) {
+		for i := range succs {
+			if !dfs(succs[i].State, depth+1) {
 				return false
 			}
 		}

@@ -66,6 +66,42 @@ type Machine interface {
 	Invariants() []Invariant
 }
 
+// BufferedMachine is an optional Machine capability for allocation-lean
+// successor enumeration: AppendNext appends every enabled transition from s
+// to buf and returns the extended slice, exactly as
+//
+//	append(buf, m.Next(s)...)
+//
+// would, but without allocating a fresh []Succ per call. The explorer, the
+// simulator, and the stateless-search ablation all prefer AppendNext when a
+// machine provides it, passing a long-lived per-worker scratch buffer whose
+// capacity amortises across millions of states; Next remains the required
+// fallback for machines that do not implement it.
+//
+// Ownership rules: the caller owns buf (and the returned slice, which may
+// share buf's backing array); the machine must not retain either across
+// calls. The successor *states* follow the usual immutability contract —
+// they are freshly built per call and never reused, so callers may keep them
+// after recycling the buffer. The spectest package provides a generic
+// equivalence test asserting AppendNext ≡ Next.
+type BufferedMachine interface {
+	Machine
+	// AppendNext appends every enabled transition from s to buf and
+	// returns the extended slice (semantics of append(buf, Next(s)...)).
+	AppendNext(s State, buf []Succ) []Succ
+}
+
+// AppendSuccessors enumerates s's successors into buf using AppendNext when
+// the machine implements BufferedMachine and Next otherwise. Hot loops that
+// care about the type-assertion cost should assert once and call AppendNext
+// directly; this helper is for the cooler call sites.
+func AppendSuccessors(m Machine, s State, buf []Succ) []Succ {
+	if bm, ok := m.(BufferedMachine); ok {
+		return bm.AppendNext(s, buf)
+	}
+	return append(buf, m.Next(s)...)
+}
+
 // Symmetric is an optional Machine capability enabling symmetry reduction
 // (§3.3: "permuting the nodes and workload values does not change whether an
 // action satisfies an invariant"). Permute returns the state with node

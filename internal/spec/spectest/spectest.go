@@ -1,0 +1,95 @@
+// Package spectest provides generic property tests shared by the
+// specification packages' test suites. Today it verifies the
+// spec.BufferedMachine contract: pooled successor enumeration (AppendNext
+// into a caller-owned scratch buffer) must be observationally identical to
+// the allocating Next path, including when the buffer is recycled across
+// calls and when it arrives with a non-empty prefix.
+package spectest
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// AssertBufferedEquiv drives `walks` seeded random walks of up to `depth`
+// steps over m and, at every visited state s, asserts that
+// AppendNext(s, buf) appends exactly the successors Next(s) returns — same
+// count, same events, same successor fingerprints — while reusing one
+// scratch buffer across all calls (the explorer's per-worker usage pattern).
+// It also asserts the append contract proper: an existing buffer prefix
+// survives untouched. Machines that do not implement spec.BufferedMachine
+// fail immediately.
+func AssertBufferedEquiv(t *testing.T, m spec.Machine, walks, depth int, seed int64) {
+	t.Helper()
+	bm, ok := m.(spec.BufferedMachine)
+	if !ok {
+		t.Fatalf("%s does not implement spec.BufferedMachine", m.Name())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var buf []spec.Succ
+	checked := 0
+	for w := 0; w < walks; w++ {
+		inits := m.Init()
+		cur := inits[rng.Intn(len(inits))]
+		for d := 0; d <= depth; d++ {
+			plain := m.Next(cur)
+			buf = bm.AppendNext(cur, buf[:0])
+			compareSuccs(t, m, plain, buf, 0)
+			checked++
+			if t.Failed() || len(plain) == 0 {
+				break
+			}
+			cur = plain[rng.Intn(len(plain))].State
+		}
+		if t.Failed() {
+			return
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("%s: no states checked", m.Name())
+	}
+
+	// Append contract: a non-empty prefix must survive untouched.
+	inits := m.Init()
+	s := inits[0]
+	prefix := bm.AppendNext(s, nil)
+	if len(prefix) == 0 {
+		return
+	}
+	// Snapshot the expectation first: the second AppendNext may legally grow
+	// prefix's backing array in place, overwriting prefix[1:].
+	want := append([]spec.Succ(nil), prefix...)
+	out := bm.AppendNext(s, prefix[:1])
+	if len(out) != 1+len(want) {
+		t.Fatalf("%s: AppendNext with prefix returned %d successors, want %d",
+			m.Name(), len(out), 1+len(want))
+	}
+	if out[0].Event.String() != want[0].Event.String() ||
+		out[0].State.Fingerprint() != want[0].State.Fingerprint() {
+		t.Fatalf("%s: AppendNext overwrote the buffer prefix", m.Name())
+	}
+	compareSuccs(t, m, want, out, 1)
+}
+
+// compareSuccs asserts got[skip:] matches want element-wise (event rendering
+// and successor fingerprint — fingerprints are the explorer's notion of
+// state identity).
+func compareSuccs(t *testing.T, m spec.Machine, want, got []spec.Succ, skip int) {
+	t.Helper()
+	got = got[skip:]
+	if len(want) != len(got) {
+		t.Fatalf("%s: AppendNext returned %d successors, Next returned %d",
+			m.Name(), len(got), len(want))
+	}
+	for i := range want {
+		if w, g := want[i].Event.String(), got[i].Event.String(); w != g {
+			t.Fatalf("%s: successor %d event mismatch: Next %q, AppendNext %q", m.Name(), i, w, g)
+		}
+		if w, g := want[i].State.Fingerprint(), got[i].State.Fingerprint(); w != g {
+			t.Fatalf("%s: successor %d state fingerprint mismatch: Next %#x, AppendNext %#x",
+				m.Name(), i, w, g)
+		}
+	}
+}

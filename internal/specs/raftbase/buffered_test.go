@@ -1,0 +1,33 @@
+package raftbase_test
+
+import (
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/spec/spectest"
+	scraft "github.com/sandtable-go/sandtable/internal/specs/craft"
+	sgso "github.com/sandtable-go/sandtable/internal/specs/gosyncobj"
+	sxkv "github.com/sandtable-go/sandtable/internal/specs/xraftkv"
+)
+
+// TestAppendNextMatchesNext property-tests the spec.BufferedMachine contract
+// across the raftbase dialects that exercise every enumeration branch: TCP
+// with partitions (gosyncobj), UDP with drops/duplicates, snapshots, and
+// retries (craft), and the KV workload with PreVote (xraftkv) — plus the
+// dirty-crash fault model, which gates the durability mirrors.
+func TestAppendNextMatchesNext(t *testing.T) {
+	machines := map[string]spec.Machine{
+		"gosyncobj": sgso.New(cfg3(), budget(), bugdb.NoBugs()),
+		"craft":     scraft.New(cfg2(), budget(), bugdb.AllBugs("craft")),
+		"xraftkv":   sxkv.New(cfg3(), budget(), bugdb.NoBugs()),
+	}
+	dirty := budget()
+	dirty.MaxDirtyCrashes = 1
+	machines["gosyncobj-dirty"] = sgso.New(cfg3(), dirty, bugdb.NoBugs())
+	for name, m := range machines {
+		t.Run(name, func(t *testing.T) {
+			spectest.AssertBufferedEquiv(t, m, 25, 30, 7)
+		})
+	}
+}

@@ -89,13 +89,20 @@ func (m *Machine) quorum() int { return m.n/2 + 1 }
 
 // Next implements spec.Machine: enumerate every enabled node-level event.
 func (m *Machine) Next(st spec.State) []spec.Succ {
+	return m.AppendNext(st, nil)
+}
+
+// AppendNext implements spec.BufferedMachine: it appends every enabled
+// node-level event to buf, letting the explorer reuse one successor buffer
+// per worker instead of allocating a slice per expanded state.
+func (m *Machine) AppendNext(st spec.State, buf []spec.Succ) []spec.Succ {
 	s := st.(*State)
 	if s.Viol.Flag != "" && !m.opt.ContinuePastFlag {
 		// A flagged state is terminal: the violation has been detected and
 		// exploring beyond it only wastes states.
-		return nil
+		return buf
 	}
-	var out []spec.Succ
+	out := buf
 	add := func(ev trace.Event, n *State) {
 		if m.overflows(n) {
 			return

@@ -53,7 +53,14 @@ func (s *LostUpdateState) Vars() map[string]string {
 }
 
 func (s *LostUpdateState) clone() *LostUpdateState {
-	c := &LostUpdateState{Mem: s.Mem, Local: append([]int(nil), s.Local...), PC: append([]int(nil), s.PC...)}
+	// Local and PC share one backing array (exact-cap subslices): two copies,
+	// one allocation. Neither slice is ever appended to, so the shared
+	// backing can never alias across fields.
+	n := len(s.PC)
+	ints := make([]int, 2*n)
+	c := &LostUpdateState{Mem: s.Mem, Local: ints[0:n:n], PC: ints[n : 2*n : 2*n]}
+	copy(c.Local, s.Local)
+	copy(c.PC, s.PC)
 	return c
 }
 
@@ -74,8 +81,14 @@ func (m *LostUpdate) Init() []spec.State {
 
 // Next implements spec.Machine.
 func (m *LostUpdate) Next(st spec.State) []spec.Succ {
+	return m.AppendNext(st, nil)
+}
+
+// AppendNext implements spec.BufferedMachine (successors appended to a
+// caller-owned scratch buffer; see spec.BufferedMachine).
+func (m *LostUpdate) AppendNext(st spec.State, buf []spec.Succ) []spec.Succ {
 	s := st.(*LostUpdateState)
-	var out []spec.Succ
+	out := buf
 	for i := 0; i < m.N; i++ {
 		switch s.PC[i] {
 		case pcIdle:

@@ -1,0 +1,16 @@
+package toy_test
+
+import (
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/spec/spectest"
+	"github.com/sandtable-go/sandtable/internal/specs/toy"
+)
+
+// TestAppendNextMatchesNext property-tests the spec.BufferedMachine contract
+// on both toy variants (the racy model and the atomic fix).
+func TestAppendNextMatchesNext(t *testing.T) {
+	for _, m := range []*toy.LostUpdate{{N: 3}, {N: 3, Atomic: true}} {
+		spectest.AssertBufferedEquiv(t, m, 20, 10, 3)
+	}
+}

@@ -60,11 +60,18 @@ func (m *Machine) Supersedes(a, b Vote) bool {
 
 // Next implements spec.Machine.
 func (m *Machine) Next(st spec.State) []spec.Succ {
+	return m.AppendNext(st, nil)
+}
+
+// AppendNext implements spec.BufferedMachine: successors are appended to buf
+// so the explorer can reuse one scratch buffer per worker (see
+// spec.BufferedMachine for the ownership rules).
+func (m *Machine) AppendNext(st spec.State, buf []spec.Succ) []spec.Succ {
 	s := st.(*State)
 	if s.Viol.Flag != "" {
-		return nil
+		return buf
 	}
-	var out []spec.Succ
+	out := buf
 	add := func(ev trace.Event, n *State) {
 		if m.budget.MaxBuffer > 0 {
 			for i := 0; i < m.n; i++ {

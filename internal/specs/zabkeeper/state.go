@@ -173,42 +173,150 @@ func emptyRecv(n int) []Vote {
 	return r
 }
 
+// clone deep-copies the state with the same flat-backing allocation
+// discipline as raftbase: related slices are carved from a few shared
+// backing arrays with exact-capacity subslices, so the per-successor clone
+// — the explorer's dominant allocation source — costs a handful of
+// allocations instead of one per slice. Every subslice has cap == len, so
+// later appends (History, Chan queues, Committed) reallocate rather than
+// growing into a neighbour's region; in-place row writes stay within their
+// own disjoint region.
 func (s *State) clone() *State {
-	c := &State{n: s.n}
-	c.ZState = append([]int(nil), s.ZState...)
-	c.Round = append([]int(nil), s.Round...)
-	c.Vote = append([]Vote(nil), s.Vote...)
-	c.Recv = make([][]Vote, s.n)
-	c.History = make([][]Txn, s.n)
-	c.Synced = make([][]bool, s.n)
-	c.Acked = make([][]int, s.n)
-	c.Chan = make([][][]Msg, s.n)
-	c.Cut = make([][]bool, s.n)
-	c.Part = make([][]bool, s.n)
-	for i := 0; i < s.n; i++ {
-		c.Recv[i] = append([]Vote(nil), s.Recv[i]...)
-		c.History[i] = append([]Txn(nil), s.History[i]...)
-		if s.Synced[i] != nil {
-			c.Synced[i] = append([]bool(nil), s.Synced[i]...)
-		}
-		if s.Acked[i] != nil {
-			c.Acked[i] = append([]int(nil), s.Acked[i]...)
-		}
-		c.Chan[i] = make([][]Msg, s.n)
-		for j := 0; j < s.n; j++ {
-			c.Chan[i][j] = append([]Msg(nil), s.Chan[i][j]...)
-		}
-		c.Cut[i] = append([]bool(nil), s.Cut[i]...)
-		c.Part[i] = append([]bool(nil), s.Part[i]...)
+	n := s.n
+	c := &State{n: n}
+
+	// Fixed-size per-node int slices: one backing array, seven views.
+	ints := make([]int, 7*n)
+	c.ZState = ints[0*n : 1*n : 1*n]
+	c.Round = ints[1*n : 2*n : 2*n]
+	c.Epoch = ints[2*n : 3*n : 3*n]
+	c.Commit = ints[3*n : 4*n : 4*n]
+	c.LeaderID = ints[4*n : 5*n : 5*n]
+	c.PendEpoch = ints[5*n : 6*n : 6*n]
+	c.Counter = ints[6*n : 7*n : 7*n]
+	copy(c.ZState, s.ZState)
+	copy(c.Round, s.Round)
+	copy(c.Epoch, s.Epoch)
+	copy(c.Commit, s.Commit)
+	copy(c.LeaderID, s.LeaderID)
+	copy(c.PendEpoch, s.PendEpoch)
+	copy(c.Counter, s.Counter)
+
+	// Up/Activated plus the Cut/Part matrices: one flat bool array; Cut,
+	// Part, and Synced share one outer row array.
+	bools := make([]bool, 2*n+2*n*n)
+	c.Up = bools[0:n:n]
+	c.Activated = bools[n : 2*n : 2*n]
+	copy(c.Up, s.Up)
+	copy(c.Activated, s.Activated)
+	boolRows := make([][]bool, 3*n)
+	c.Cut = boolRows[0:n:n]
+	c.Part = boolRows[n : 2*n : 2*n]
+	c.Synced = boolRows[2*n : 3*n : 3*n]
+	off := 2 * n
+	for i := 0; i < n; i++ {
+		c.Cut[i] = bools[off : off+n : off+n]
+		copy(c.Cut[i], s.Cut[i])
+		off += n
 	}
-	c.Epoch = append([]int(nil), s.Epoch...)
-	c.Commit = append([]int(nil), s.Commit...)
-	c.LeaderID = append([]int(nil), s.LeaderID...)
-	c.PendEpoch = append([]int(nil), s.PendEpoch...)
-	c.Activated = append([]bool(nil), s.Activated...)
-	c.Counter = append([]int(nil), s.Counter...)
-	c.Up = append([]bool(nil), s.Up...)
-	c.Committed = append([]Txn(nil), s.Committed...)
+	for i := 0; i < n; i++ {
+		c.Part[i] = bools[off : off+n : off+n]
+		copy(c.Part[i], s.Part[i])
+		off += n
+	}
+	nsy := 0
+	for i := 0; i < n; i++ {
+		nsy += len(s.Synced[i])
+	}
+	var sflat []bool
+	if nsy > 0 {
+		sflat = make([]bool, 0, nsy)
+	}
+	for i := 0; i < n; i++ {
+		if row := s.Synced[i]; row != nil {
+			start := len(sflat)
+			sflat = append(sflat, row...)
+			c.Synced[i] = sflat[start:len(sflat):len(sflat)]
+		}
+	}
+
+	// Acked: nil-able leader rows carved from one counted flat array.
+	c.Acked = make([][]int, n)
+	na := 0
+	for i := 0; i < n; i++ {
+		na += len(s.Acked[i])
+	}
+	var aflat []int
+	if na > 0 {
+		aflat = make([]int, 0, na)
+	}
+	for i := 0; i < n; i++ {
+		if row := s.Acked[i]; row != nil {
+			start := len(aflat)
+			aflat = append(aflat, row...)
+			c.Acked[i] = aflat[start:len(aflat):len(aflat)]
+		}
+	}
+
+	// Vote and the always-square Recv matrix: one flat Vote array.
+	vflat := make([]Vote, n+n*n)
+	c.Vote = vflat[0:n:n]
+	copy(c.Vote, s.Vote)
+	c.Recv = make([][]Vote, n)
+	voff := n
+	for i := 0; i < n; i++ {
+		c.Recv[i] = vflat[voff : voff+n : voff+n]
+		copy(c.Recv[i], s.Recv[i])
+		voff += n
+	}
+
+	// History and the ghost Committed sequence: one counted flat Txn array.
+	c.History = make([][]Txn, n)
+	nt := len(s.Committed)
+	for i := 0; i < n; i++ {
+		nt += len(s.History[i])
+	}
+	var tflat []Txn
+	if nt > 0 {
+		tflat = make([]Txn, 0, nt)
+	}
+	cloneTxns := func(ts []Txn) []Txn {
+		if len(ts) == 0 {
+			return nil
+		}
+		start := len(tflat)
+		tflat = append(tflat, ts...)
+		return tflat[start:len(tflat):len(tflat)]
+	}
+	for i := 0; i < n; i++ {
+		c.History[i] = cloneTxns(s.History[i])
+	}
+	c.Committed = cloneTxns(s.Committed)
+
+	// Channels: shared outer, flat row array, one flat message array.
+	c.Chan = make([][][]Msg, n)
+	chanRows := make([][]Msg, n*n)
+	nm := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			nm += len(s.Chan[i][j])
+		}
+	}
+	var mflat []Msg
+	if nm > 0 {
+		mflat = make([]Msg, 0, nm)
+	}
+	for i := 0; i < n; i++ {
+		c.Chan[i] = chanRows[i*n : (i+1)*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if q := s.Chan[i][j]; len(q) > 0 {
+				start := len(mflat)
+				mflat = append(mflat, q...)
+				c.Chan[i][j] = mflat[start:len(mflat):len(mflat)]
+			}
+		}
+	}
+
 	c.Counters = s.Counters
 	c.Viol = s.Viol
 	return c

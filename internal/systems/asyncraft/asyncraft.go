@@ -473,10 +473,3 @@ func formatVotes(votes []bool) string {
 	}
 	return "{" + strings.Join(parts, " ") + "}"
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

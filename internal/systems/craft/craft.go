@@ -695,10 +695,3 @@ func formatVotes(votes map[int]bool) string {
 	}
 	return "{" + strings.Join(parts, " ") + "}"
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -6,32 +6,44 @@
 # `go test -bench` lines plus parsed per-run numbers.
 #
 # Usage: scripts/bench.sh [count]   (default: 3 runs per benchmark)
+# The output path can be overridden with BENCH_OUT (used by `make benchdiff`
+# to produce a fresh report without clobbering the committed baseline).
 set -eu
 
 cd "$(dirname "$0")/.."
 COUNT="${1:-3}"
-OUT=BENCH_explorer.json
+OUT="${BENCH_OUT:-BENCH_explorer.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench 'BenchmarkTable3Exploration|BenchmarkConformance' -benchmem -count "$COUNT" . | tee "$RAW"
 
 # Render the raw lines into a small JSON report. Exploration runs carry
-# states/s, conformance runs events/s; the field the run lacks stays null.
+# states/s, conformance runs events/s; the field a run lacks stays null.
+# Values are taken only from well-formed `<number> <unit>` metric pairs, the
+# GOMAXPROCS suffix go test appends to benchmark names (`/wmax-8`) is
+# stripped so names compare across machines, and each run records the
+# gomaxprocs metric the harness reports — on a 1-CPU machine the wmax rows
+# legitimately say workers=1, and gomaxprocs is what proves that is the
+# machine, not a parse failure.
 awk -v count="$COUNT" '
 BEGIN { print "{"; printf "  \"benchmarks\": [\"BenchmarkTable3Exploration\", \"BenchmarkConformance\"],\n  \"count\": %d,\n  \"runs\": [\n", count }
-/^Benchmark/ {
-    ns = b = a = sps = eps = w = "null"
+/^Benchmark/ && NF >= 2 && $2 ~ /^[0-9]+$/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = b = a = sps = eps = w = gmp = "null"
     for (i = 3; i <= NF; i++) {
+        if ($(i - 1) !~ /^[0-9]+(\.[0-9]+)?$/) continue
         if ($i == "ns/op") ns = $(i - 1)
         else if ($i == "B/op") b = $(i - 1)
         else if ($i == "allocs/op") a = $(i - 1)
         else if ($i == "states/s") sps = $(i - 1)
         else if ($i == "events/s") eps = $(i - 1)
         else if ($i == "workers") w = $(i - 1)
+        else if ($i == "gomaxprocs") gmp = $(i - 1)
     }
     sep = (n++ ? ",\n" : "")
-    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"workers\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"events_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $1, $2, w, ns, sps, eps, b, a
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"workers\": %s, \"gomaxprocs\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"events_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, w, gmp, ns, sps, eps, b, a
 }
 END { print "\n  ]\n}" }
 ' "$RAW" > "$OUT"

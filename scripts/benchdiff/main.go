@@ -1,0 +1,140 @@
+// Command benchdiff compares two BENCH_explorer.json reports (see
+// scripts/bench.sh for the format) and prints per-benchmark deltas:
+// throughput (states/s or events/s), bytes/op, and allocs/op. `make
+// benchdiff` uses it to compare a fresh benchmark run against the committed
+// baseline, so a hot-path change shows its effect without overwriting the
+// baseline file.
+//
+// Usage: benchdiff OLD.json NEW.json
+//
+// Runs with the same name (go test -count > 1) are averaged before
+// comparison. Names present in only one file are listed but not compared.
+// The exit status is always 0 — the diff is a report, not a gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// report mirrors the JSON written by scripts/bench.sh.
+type report struct {
+	Count int   `json:"count"`
+	Runs  []run `json:"runs"`
+}
+
+// run is one parsed benchmark line. Pointer fields distinguish "absent"
+// (null in JSON, e.g. events/s on an exploration run, or gomaxprocs in
+// reports predating that field) from zero.
+type run struct {
+	Name       string   `json:"name"`
+	Workers    *float64 `json:"workers"`
+	Gomaxprocs *float64 `json:"gomaxprocs"`
+	NsPerOp    *float64 `json:"ns_per_op"`
+	StatesSec  *float64 `json:"states_per_sec"`
+	EventsSec  *float64 `json:"events_per_sec"`
+	BytesOp    *float64 `json:"bytes_per_op"`
+	AllocsOp   *float64 `json:"allocs_per_op"`
+}
+
+// avg holds the per-name mean of every metric that was present.
+type avg struct {
+	throughput, bytes, allocs float64
+	unit                      string
+	n                         int
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-55s %15s %15s %8s %10s %10s\n",
+		"benchmark", "old", "new", "thrpt", "B/op", "allocs/op")
+	for _, name := range names {
+		n := fresh[name]
+		o, ok := old[name]
+		if !ok {
+			fmt.Printf("%-55s %15s\n", name, "(new)")
+			continue
+		}
+		fmt.Printf("%-55s %12.0f %s %12.0f %s %8s %10s %10s\n",
+			name, o.throughput, o.unit, n.throughput, n.unit,
+			pct(o.throughput, n.throughput),
+			pct(o.bytes, n.bytes),
+			pct(o.allocs, n.allocs))
+	}
+	for name := range old {
+		if _, ok := fresh[name]; !ok {
+			fmt.Printf("%-55s %15s\n", name, "(removed)")
+		}
+	}
+}
+
+// load parses a report and averages runs by benchmark name.
+func load(path string) (map[string]avg, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sums := make(map[string]avg)
+	for _, r := range rep.Runs {
+		a := sums[r.Name]
+		switch {
+		case r.StatesSec != nil:
+			a.throughput += *r.StatesSec
+			a.unit = "states/s"
+		case r.EventsSec != nil:
+			a.throughput += *r.EventsSec
+			a.unit = "events/s"
+		}
+		if r.BytesOp != nil {
+			a.bytes += *r.BytesOp
+		}
+		if r.AllocsOp != nil {
+			a.allocs += *r.AllocsOp
+		}
+		a.n++
+		sums[r.Name] = a
+	}
+	for name, a := range sums {
+		if a.n > 1 {
+			a.throughput /= float64(a.n)
+			a.bytes /= float64(a.n)
+			a.allocs /= float64(a.n)
+			sums[name] = a
+		}
+	}
+	return sums, nil
+}
+
+// pct renders the relative change from before to after ("-41.2%", "+3.0%").
+func pct(before, after float64) string {
+	if before == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(after-before)/before)
+}
