@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-conform fuzz docs ci bench benchdiff clean
+.PHONY: all build vet test race race-conform fuzz docs checktrace ci bench benchdiff clean
 
 all: ci
 
@@ -35,10 +35,25 @@ fuzz:
 docs:
 	./scripts/checkdocs.sh
 
+# checktrace regenerates observability artifacts (JSONL trace, metrics
+# snapshot, Markdown report) from a small bounded run and validates them
+# against the versioned schema in internal/obs/schema.go — every event must
+# parse, carry a readable version, and keep strictly increasing sequence
+# numbers; the metrics snapshot and embedded coverage profile must carry
+# readable schema versions too. Schema drift fails here before it breaks
+# `sandtable report` or archived artifacts.
+checktrace:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/sandtable check -system gosyncobj -max-states 2000 -deadline 60s \
+		-metrics-out "$$tmp/metrics.json" -trace-out "$$tmp/trace.jsonl" -report "$$tmp/report.md" >/dev/null && \
+	$(GO) run ./scripts/checktrace -metrics "$$tmp/metrics.json" "$$tmp/trace.jsonl" && \
+	grep -q '## Action coverage' "$$tmp/report.md"
+
 # ci is the gate every change must pass: compile, static checks, the docs
 # gate, the full test suite under the race detector, the repeated race run
-# of the parallel conformance pool, and a short fuzz smoke.
-ci: build vet docs race race-conform fuzz
+# of the parallel conformance pool, a short fuzz smoke, and the
+# observability artifact schema gate.
+ci: build vet docs race race-conform fuzz checktrace
 
 # bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
 # (see scripts/bench.sh for the JSON shape).
@@ -53,4 +68,4 @@ benchdiff:
 	$(GO) run ./scripts/benchdiff BENCH_explorer.json .bench_fresh.json
 
 clean:
-	rm -f BENCH_explorer.json .bench_fresh.json
+	rm -f BENCH_explorer.json BENCH_explorer_metrics.json .bench_fresh.json .bench_fresh_metrics.json

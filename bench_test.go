@@ -85,7 +85,9 @@ func BenchmarkTable2Bugs(b *testing.B) {
 // benchmark suite inside the default go-test timeout). Each system runs at
 // three worker counts — 1, 4, and NumCPU ("max") — so BENCH_explorer.json
 // tracks both single-worker probe-table speed and the scaling of the
-// concurrent probe-and-insert fingerprint set.
+// concurrent probe-and-insert fingerprint set. The coverage profiler
+// (Options.Cover) stays on, matching how `sandtable check` runs and gating
+// the profiler's hot-path overhead.
 func BenchmarkTable3Exploration(b *testing.B) {
 	cfg := spec.Config{Name: "n3w2", Nodes: 3, Workload: []string{"v1", "v2"}}
 	workerRuns := []struct {
@@ -111,7 +113,7 @@ func BenchmarkTable3Exploration(b *testing.B) {
 						st := sandtable.New(sys, cfg, experiments.Exp1Budget(name), bugdb.NoBugs())
 						res := st.Check(explorer.Options{
 							Symmetry: true, StopAtFirstViolation: true,
-							MaxStates: 120_000, Workers: wr.workers,
+							MaxStates: 120_000, Workers: wr.workers, Cover: true,
 						})
 						if v := res.FirstViolation(); v != nil {
 							b.Fatalf("bug-fixed spec violated %s: %v", v.Invariant, v.Err)

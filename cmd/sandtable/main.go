@@ -30,6 +30,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/ranking"
 	"github.com/sandtable-go/sandtable/internal/replay"
+	"github.com/sandtable-go/sandtable/internal/report"
 	"github.com/sandtable-go/sandtable/internal/sandtable"
 	"github.com/sandtable-go/sandtable/internal/shrink"
 	"github.com/sandtable-go/sandtable/internal/spec"
@@ -57,6 +58,8 @@ func main() {
 		err = runConfirm(args)
 	case "replay":
 		err = runReplay(args)
+	case "report":
+		err = runReport(args)
 	case "list":
 		err = runList()
 	default:
@@ -70,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sandtable <check|simulate|rank|conform|confirm|replay|list> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: sandtable <check|simulate|rank|conform|confirm|replay|report|list> [flags]`)
 }
 
 // commonFlags adds the session flags shared by all subcommands.
@@ -136,6 +139,7 @@ type obsFlags struct {
 	progress   *time.Duration
 	metricsOut *string
 	traceOut   *string
+	reportOut  *string
 	pprofAddr  *string
 }
 
@@ -144,7 +148,8 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 		progress:   fs.Duration("progress", 0, "print TLC-style progress lines to stderr at this interval (0 = off)"),
 		metricsOut: fs.String("metrics-out", "", "write the final metrics snapshot + result summary as JSON to this file"),
 		traceOut:   fs.String("trace-out", "", "write structured JSONL observability events to this file"),
-		pprofAddr:  fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)"),
+		reportOut:  fs.String("report", "", "render a post-run Markdown report (coverage, depth profile, counterexample) to this file (\"-\" = stdout)"),
+		pprofAddr:  fs.String("pprof", "", "serve net/http/pprof, expvar, and Prometheus /metrics on this address (e.g. localhost:6060)"),
 	}
 }
 
@@ -158,11 +163,21 @@ type obsSession struct {
 	progress   obs.ProgressFunc
 	interval   time.Duration
 	metricsOut string
-	stopPprof  func() error
+	reportOut  string
+	// cover is the run's coverage profile; subcommands that collect one
+	// hand it over before close so it lands in the metrics artifact and the
+	// rendered report.
+	cover *obs.Cover
+	// title heads the rendered report ("sandtable <cmd> -system <sys>").
+	title     string
+	stopPprof func() error
 }
 
 func (f *obsFlags) open() (*obsSession, error) {
-	s := &obsSession{reg: obs.NewRegistry(), metricsOut: *f.metricsOut}
+	s := &obsSession{reg: obs.NewRegistry(), metricsOut: *f.metricsOut, reportOut: *f.reportOut}
+	if len(os.Args) > 1 {
+		s.title = "sandtable " + strings.Join(os.Args[1:], " ")
+	}
 	if *f.progress > 0 {
 		s.progress = obs.StderrProgress()
 		s.interval = *f.progress
@@ -188,15 +203,24 @@ func (f *obsFlags) open() (*obsSession, error) {
 }
 
 // close finalises the session: writes the metrics snapshot (merged with the
-// result summary) when -metrics-out is set, flushes and closes the JSONL
-// trace, and stops the pprof server.
+// result summary and coverage profile, stamped with the artifact schema
+// version) when -metrics-out is set, renders the Markdown report when
+// -report is set, flushes and closes the JSONL trace, and stops the pprof
+// server.
 func (s *obsSession) close(result map[string]any) error {
 	var firstErr error
-	if s.metricsOut != "" {
-		snap := s.reg.Snapshot()
+	var snap map[string]any
+	if s.metricsOut != "" || s.reportOut != "" {
+		snap = s.reg.Snapshot()
+		snap["schema"] = obs.MetricsSchemaVersion
 		if result != nil {
 			snap["result"] = result
 		}
+		if s.cover != nil {
+			snap["cover"] = s.cover
+		}
+	}
+	if s.metricsOut != "" {
 		buf, err := json.MarshalIndent(snap, "", "  ")
 		if err == nil {
 			err = os.WriteFile(s.metricsOut, append(buf, '\n'), 0o644)
@@ -205,6 +229,16 @@ func (s *obsSession) close(result map[string]any) error {
 			firstErr = fmt.Errorf("metrics-out: %w", err)
 		} else {
 			fmt.Fprintf(os.Stderr, "metrics written to %s\n", s.metricsOut)
+		}
+	}
+	if s.reportOut != "" {
+		d := &report.Data{Title: s.title, Source: "in-memory run", Metrics: snap, Cover: s.cover}
+		if err := report.WriteFile(s.reportOut, d); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("report: %w", err)
+			}
+		} else if s.reportOut != "-" {
+			fmt.Fprintf(os.Stderr, "report written to %s\n", s.reportOut)
 		}
 	}
 	if s.tracer != nil {
@@ -326,6 +360,7 @@ func runCheck(args []string) error {
 	sf := addSessionFlags(fs)
 	of := addObsFlags(fs)
 	workers := fs.Int("workers", 0, "BFS workers (0 = NumCPU)")
+	maxStates := fs.Int("max-states", 0, "stop after this many distinct states (0 = off; checked at block boundaries)")
 	fpShards := fs.Int("fpset-shards", 0, "fingerprint-set shard count, rounded up to a power of two (0 = automatic, sized from GOMAXPROCS)")
 	ckDir := fs.String("checkpoint", "", "write periodic exploration snapshots to this directory (enables checkpointing)")
 	ckEvery := fs.Duration("checkpoint-every", 0, "minimum wall-clock time between snapshots (default 60s once -checkpoint is set)")
@@ -350,7 +385,9 @@ func runCheck(args []string) error {
 	opts := explorer.DefaultOptions()
 	opts.Deadline = *sf.deadline
 	opts.Workers = *workers
+	opts.MaxStates = *maxStates
 	opts.FPSetShards = *fpShards
+	opts.Cover = true
 	if *ckDir != "" {
 		opts.Checkpoint = explorer.CheckpointOptions{
 			Dir:         *ckDir,
@@ -368,6 +405,7 @@ func runCheck(args []string) error {
 	stopExplore := o.reg.StartPhase("explore")
 	res := st.Check(opts)
 	stopExplore()
+	o.cover = res.Cover
 	if res.Err != nil {
 		o.close(resultSummary(res))
 		return res.Err
@@ -379,6 +417,9 @@ func runCheck(args []string) error {
 	fmt.Printf("explored %d distinct states (max depth %d) in %s — %.0f states/s, dedup %.1f%% (%d hits), peak queue %d, stop: %s\n",
 		res.DistinctStates, res.MaxDepth, res.Duration.Round(time.Millisecond), res.StatesPerSecond(),
 		100*res.DedupRatio(), res.DedupHits, res.MaxQueueLen, res.StopReason)
+	if nf := res.Cover.NeverFired(); len(nf) > 0 {
+		fmt.Printf("coverage: %d declared action(s) never fired: %s\n", len(nf), strings.Join(nf, ", "))
+	}
 	if res.Checkpoints > 0 {
 		fmt.Printf("%d checkpoint(s) written to %s (resume with -checkpoint %s -resume)\n", res.Checkpoints, *ckDir, *ckDir)
 	}
@@ -495,11 +536,12 @@ func runSimulate(args []string) error {
 		MaxDepth: *depth, Seed: *seed, CheckInvariants: true,
 		TrackDistinct: *distinct, RecordVars: *doShrink,
 		Progress: o.progress, ProgressInterval: o.interval,
-		Metrics: o.reg, Tracer: o.tracer,
+		Metrics: o.reg, Tracer: o.tracer, Cover: true,
 	})
 	stopSim := o.reg.StartPhase("simulate")
 	results := sim.Walks(*walks)
 	stopSim()
+	o.cover = sim.Cover()
 	agg := explorer.Aggregate(results)
 	fmt.Printf("walks=%d branch-coverage=%d event-diversity=%d max-depth=%d mean-depth=%.1f violations=%d elapsed=%s\n",
 		agg.Walks, agg.BranchCoverage, agg.EventDiversity, agg.MaxDepth, agg.MeanDepth, agg.Violations, agg.TotalElapsed.Round(time.Millisecond))
@@ -630,10 +672,12 @@ func runConfirm(args []string) error {
 	opts.ProgressInterval = o.interval
 	opts.Metrics = o.reg
 	opts.Tracer = o.tracer
+	opts.Cover = true
 
 	stopExplore := o.reg.StartPhase("explore")
 	res := st.Check(opts)
 	stopExplore()
+	o.cover = res.Cover
 	summary := resultSummary(res)
 	v := res.FirstViolation()
 	if v == nil {
@@ -671,6 +715,36 @@ func runConfirm(args []string) error {
 	fmt.Printf("NOT confirmed — replay diverged: %s\n", conf.Divergence.Describe())
 	summary["divergence"] = conf.Divergence.Describe()
 	return o.close(summary)
+}
+
+// runReport renders a post-run Markdown report from observability artifacts
+// written by earlier runs (-metrics-out and/or -trace-out) — the offline
+// path; `-report` on check/simulate/conform/confirm/replay renders the same
+// report in-process at the end of the run.
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	metrics := fs.String("metrics", "", "metrics JSON written by -metrics-out")
+	traceF := fs.String("trace", "", "JSONL events written by -trace-out")
+	out := fs.String("o", "", "output Markdown file (default stdout)")
+	title := fs.String("title", "", "report title (default \"SandTable run report\")")
+	fs.Parse(args)
+	if *metrics == "" && *traceF == "" {
+		return fmt.Errorf("report: at least one of -metrics or -trace is required")
+	}
+	d, err := report.FromFiles(*metrics, *traceF)
+	if err != nil {
+		return err
+	}
+	if *title != "" {
+		d.Title = *title
+	}
+	if err := report.WriteFile(*out, d); err != nil {
+		return err
+	}
+	if *out != "" && *out != "-" {
+		fmt.Printf("report written to %s\n", *out)
+	}
+	return nil
 }
 
 func runList() error {

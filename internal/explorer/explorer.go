@@ -98,8 +98,16 @@ type Options struct {
 	Metrics *obs.Registry
 	// Tracer, when set, receives one "level" event per completed BFS level
 	// — a structured record of how the exploration advanced — and one
-	// "checkpoint" event per snapshot written.
+	// "checkpoint" event per snapshot written. The progress reporter also
+	// emits a "stall" event (layer "obs") when a run plateaus; see
+	// obs.Reporter.
 	Tracer *obs.Tracer
+	// Cover enables the state-space coverage profiler: per-action fire and
+	// fresh-state counts, per-level frontier/dedup profiles, and symmetry-
+	// reduction hits, published as Result.Cover. Collection is two-phase —
+	// each expansion worker accumulates privately and the totals are folded
+	// in at block barriers — so the hot path takes no locks and no atomics.
+	Cover bool
 }
 
 // DefaultOptions returns the options used by the SandTable workflow.
@@ -150,6 +158,10 @@ type Result struct {
 	Resumed bool
 	// Checkpoints counts the snapshots written during the run.
 	Checkpoints int
+	// Cover is the coverage profile collected during the run (nil unless
+	// Options.Cover): which actions fired, which never did, how each BFS
+	// level spent its work.
+	Cover *obs.Cover
 	// Err carries a fatal configuration error (today: a failed resume —
 	// missing, corrupt, or incompatible snapshot). When non-nil the other
 	// fields are zero and StopReason is "checkpoint-error".
@@ -199,6 +211,11 @@ type Checker struct {
 
 	visited *fpset.Set
 
+	// cover is the run's coverage profile (nil unless Options.Cover);
+	// workers feed it through per-worker accumulators merged at block
+	// barriers, never directly.
+	cover *obs.Cover
+
 	// restored carries state loaded from a snapshot (nil for fresh runs).
 	restored *snapshot
 }
@@ -241,10 +258,20 @@ func (c *Checker) nextInto(s spec.State, buf []spec.Succ) []spec.Succ {
 // fingerprint over all node permutations (with symmetry off it is the plain
 // fingerprint).
 func (c *Checker) canonicalFP(s spec.State) uint64 {
+	fp, _ := c.canonicalFPReduced(s)
+	return fp
+}
+
+// canonicalFPReduced is canonicalFP plus whether a non-identity permutation
+// produced the minimum — i.e. whether symmetry reduction actually collapsed
+// this state onto a representative (the coverage profiler's symmetry-hit
+// signal). The extra comparison is free next to the permutation loop.
+func (c *Checker) canonicalFPReduced(s spec.State) (uint64, bool) {
 	fp := s.Fingerprint()
 	if c.sym == nil {
-		return fp
+		return fp, false
 	}
+	plain := fp
 	for _, p := range c.perms {
 		var pf uint64
 		if c.fast != nil {
@@ -256,7 +283,7 @@ func (c *Checker) canonicalFP(s spec.State) uint64 {
 			fp = pf
 		}
 	}
-	return fp
+	return fp, fp != plain
 }
 
 func isIdentity(p []int) bool {
@@ -319,13 +346,16 @@ func (m *runMetrics) publish(res *Result, queueLen, depth int, set *fpset.Set) {
 
 // newReporter builds the progress reporter for a run (nil Progress → a
 // reporter whose calls no-op). With no cadence configured a 5-second
-// interval is used.
+// interval is used. The run's tracer is attached so stall warnings land in
+// the structured event stream as well as on the progress line.
 func (o *Options) newReporter() *obs.Reporter {
 	interval := o.ProgressInterval
 	if o.Progress != nil && interval == 0 && o.ProgressStates == 0 {
 		interval = 5 * time.Second
 	}
-	return obs.NewReporter(o.Progress, interval, o.ProgressStates)
+	r := obs.NewReporter(o.Progress, interval, o.ProgressStates)
+	r.Tracer = o.Tracer
+	return r
 }
 
 // Run performs the breadth-first search and returns the result.
@@ -353,6 +383,11 @@ func (c *Checker) Run() *Result {
 		}
 	}
 
+	if c.opts.Cover {
+		res.Cover = obs.NewCover("bfs", spec.DeclaredActions(c.m))
+		c.cover = res.Cover
+	}
+
 	if c.restored != nil {
 		// Continue from the snapshot: counters, depth, and the rebuilt
 		// frontier replace the init-state seeding below.
@@ -369,6 +404,11 @@ func (c *Checker) Run() *Result {
 		depth = snap.header.Depth
 		frontier = snap.frontier
 		c.restored = nil
+		if c.cover != nil {
+			// Levels before the snapshot were profiled by the interrupted
+			// session; this profile covers the continuation only.
+			c.cover.ResumedAtDepth = depth
+		}
 	} else {
 		seen := make(map[uint64]bool)
 		for _, s := range c.m.Init() {
@@ -390,6 +430,13 @@ func (c *Checker) Run() *Result {
 		sortFrontier(frontier)
 		res.DistinctStates = len(frontier)
 		res.MaxQueueLen = len(frontier)
+		if c.cover != nil {
+			// Level 0 is the deduplicated initial states: no actions fire,
+			// so the entry records only the level's size.
+			c.cover.Levels = append(c.cover.Levels, obs.LevelStats{
+				Depth: 0, Frontier: len(frontier), Fresh: len(frontier),
+			})
+		}
 	}
 
 	stop := ""
@@ -426,6 +473,17 @@ func (c *Checker) Run() *Result {
 		}
 
 		depth++
+
+		// Level baselines for the coverage profile: per-level deltas are
+		// differences of run totals taken at the level boundaries.
+		var baseTrans, baseDedup, baseProbes int64
+		var baseCk, expanded int
+		if c.cover != nil {
+			baseTrans, baseDedup = res.Transitions, res.DedupHits
+			baseProbes = c.visited.Stats().Probes
+			baseCk = res.Checkpoints
+			expanded = len(frontier)
+		}
 
 		// Expand the level in bounded blocks so memory holds at most one
 		// block's successors at a time. Workers probe-and-insert into the
@@ -504,6 +562,18 @@ func (c *Checker) Run() *Result {
 		if ck != nil && !partialLevel && len(frontier) > 0 && (len(res.Violations) == 0 || !c.opts.StopAtFirstViolation) {
 			ck.maybeWrite(c, res, depth, frontier, restoredElapsed+time.Since(start))
 		}
+		if c.cover != nil {
+			c.cover.Levels = append(c.cover.Levels, obs.LevelStats{
+				Depth:       depth,
+				Frontier:    expanded,
+				Fresh:       len(frontier),
+				Transitions: res.Transitions - baseTrans,
+				Dedup:       res.DedupHits - baseDedup,
+				Violations:  len(levelViolations),
+				FpsetProbes: c.visited.Stats().Probes - baseProbes,
+				Checkpoint:  res.Checkpoints > baseCk,
+			})
+		}
 	}
 
 	if stop == "" {
@@ -571,6 +641,10 @@ type expandWorker struct {
 	c   *Checker
 	buf []spec.Succ
 	out chunkOut
+	// wc is the worker's private coverage accumulator (nil unless
+	// Options.Cover); it is folded into the run profile and reset at the
+	// same block barrier that drains out.
+	wc *obs.WorkerCover
 }
 
 // expandJob is one frontier block broadcast to the pool. Workers claim
@@ -599,6 +673,9 @@ func (c *Checker) newExpandPool(workers int, invs []spec.Invariant) *expandPool 
 	p := &expandPool{c: c, invs: invs, ws: make([]*expandWorker, workers)}
 	for i := range p.ws {
 		p.ws[i] = &expandWorker{c: c}
+		if c.cover != nil {
+			p.ws[i].wc = obs.NewWorkerCover()
+		}
 	}
 	p.jobs = make([]chan *expandJob, workers-1)
 	for i := range p.jobs {
@@ -646,7 +723,9 @@ func (p *expandPool) expand(entries []frontierEntry, depth int) {
 // their state pointers are cleared so drained states do not outlive the
 // level in worker-owned memory.
 func (p *expandPool) drainInto(res *Result, next *[]frontierEntry, viols *[]*Violation) {
+	cover := p.c.cover
 	for _, w := range p.ws {
+		cover.MergeWorker(w.wc)
 		out := &w.out
 		res.Transitions += out.work
 		res.DedupHits += out.dedup
@@ -695,8 +774,15 @@ func (w *expandWorker) expandChunk(p *expandPool, entries []frontierEntry, depth
 		w.buf = c.nextInto(fe.state, w.buf[:0])
 		out.work += int64(len(w.buf))
 		for _, su := range w.buf {
-			fp := c.canonicalFP(su.State)
-			if !c.visited.Insert(fp, fe.fp, int32(depth)) {
+			fp, reduced := c.canonicalFPReduced(su.State)
+			fresh := c.visited.Insert(fp, fe.fp, int32(depth))
+			if wc := w.wc; wc != nil {
+				if reduced {
+					wc.SymmetryHit()
+				}
+				wc.Observe(su.Event.Action, depth, fresh)
+			}
+			if !fresh {
 				out.dedup++
 				continue
 			}

@@ -3,6 +3,7 @@ package explorer
 import (
 	"math/rand"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/sandtable-go/sandtable/internal/fpset"
@@ -44,6 +45,11 @@ type SimOptions struct {
 	Metrics *obs.Registry
 	// Tracer, when set, receives one "walk" summary event per walk.
 	Tracer *obs.Tracer
+	// Cover enables the coverage profiler across walks: per-action fire
+	// counts (and fresh-state yield when TrackDistinct is also set),
+	// retrievable via Simulator.Cover. Each walk accumulates privately and
+	// merges at its end, so concurrent Walk calls stay safe.
+	Cover bool
 }
 
 // WalkStats captures the per-walk data Algorithm 1 collects: branch coverage
@@ -87,6 +93,12 @@ type Simulator struct {
 
 	// distinct deduplicates states across walks (nil unless TrackDistinct).
 	distinct *fpset.Set
+
+	// cover aggregates the coverage profile across walks (nil unless
+	// SimOptions.Cover); coverMu serialises the per-walk merges so Walk
+	// stays safe for concurrent use.
+	coverMu sync.Mutex
+	cover   *obs.Cover
 }
 
 // NewSimulator builds a simulator for machine m.
@@ -96,8 +108,16 @@ func NewSimulator(m spec.Machine, opts SimOptions) *Simulator {
 	if opts.TrackDistinct {
 		s.distinct = fpset.New(1)
 	}
+	if opts.Cover {
+		s.cover = obs.NewCover("simulate", spec.DeclaredActions(m))
+	}
 	return s
 }
+
+// Cover returns the coverage profile aggregated over every walk performed
+// so far (nil unless SimOptions.Cover). The returned profile must not be
+// read concurrently with in-flight walks.
+func (s *Simulator) Cover() *obs.Cover { return s.cover }
 
 // Distinct returns the number of distinct states visited across all walks
 // performed so far (0 unless SimOptions.TrackDistinct).
@@ -131,6 +151,14 @@ func (s *Simulator) Walk(seed int64) *WalkResult {
 		res.Stats.FreshStates++
 	}
 
+	// wc is the walk-local coverage accumulator (nil calls no-op): walks may
+	// run concurrently, so the shared profile is only touched once, under
+	// lock, when the walk ends.
+	var wc *obs.WorkerCover
+	if s.cover != nil {
+		wc = obs.NewWorkerCover()
+	}
+
 	// buf is walk-local (Walk must stay goroutine-safe) but reused across
 	// the walk's steps, so successor enumeration allocates per step only
 	// while the buffer is still growing to the walk's fan-out high-water.
@@ -153,9 +181,11 @@ func (s *Simulator) Walk(seed int64) *WalkResult {
 		res.Stats.Actions[pick.Event.Action]++
 		res.Stats.EventTypes[pick.Event.Type]++
 
-		if s.distinct != nil && s.distinct.Insert(cur.Fingerprint(), 0, int32(res.Stats.Depth)) {
+		fresh := s.distinct != nil && s.distinct.Insert(cur.Fingerprint(), 0, int32(res.Stats.Depth))
+		if fresh {
 			res.Stats.FreshStates++
 		}
+		wc.Observe(pick.Event.Action, res.Stats.Depth, fresh)
 		step := trace.Step{Event: pick.Event, Fingerprint: cur.Fingerprint()}
 		if s.opts.RecordVars {
 			step.Vars = cur.Vars()
@@ -174,6 +204,11 @@ func (s *Simulator) Walk(seed int64) *WalkResult {
 	if res.Stats.Terminal == "" {
 		res.Stats.Terminal = "max-depth"
 	}
+	if s.cover != nil {
+		s.coverMu.Lock()
+		s.cover.MergeWorker(wc)
+		s.coverMu.Unlock()
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -186,6 +221,7 @@ func (s *Simulator) Walks(n int) []*WalkResult {
 		interval = 5 * time.Second
 	}
 	reporter := obs.NewReporter(s.opts.Progress, interval, s.opts.ProgressStates)
+	reporter.Tracer = s.opts.Tracer
 	var walkDepth *obs.Histogram
 	if s.opts.Metrics != nil {
 		walkDepth = s.opts.Metrics.Histogram("walk_depth", []int64{5, 10, 20, 50, 100, 500})

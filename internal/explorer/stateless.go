@@ -1,6 +1,7 @@
 package explorer
 
 import (
+	"strconv"
 	"time"
 
 	"github.com/sandtable-go/sandtable/internal/fpset"
@@ -35,6 +36,10 @@ type StatelessOptions struct {
 	ProgressStates int
 	// Metrics, when set, receives live visit/execution counters.
 	Metrics *obs.Registry
+	// Tracer, when set, receives one "stateless" summary event when the
+	// search ends (visits, executions, distinct states) — the ablation's
+	// counterpart of the BFS checker's per-level events.
+	Tracer *obs.Tracer
 }
 
 // StatelessResult reports how much work the stateless discipline performed.
@@ -164,5 +169,15 @@ func StatelessSearch(m spec.Machine, opts StatelessOptions) *StatelessResult {
 	if opts.Progress != nil {
 		reporter.Emit(obs.Progress{DistinctStates: int(res.Visits), Transitions: res.Visits, Final: true})
 	}
+	opts.Tracer.Emit(obs.Event{
+		Layer: "spec", Kind: "stateless", Node: -1,
+		Detail: map[string]string{
+			"visits":     strconv.FormatInt(res.Visits, 10),
+			"executions": strconv.FormatInt(res.Executions, 10),
+			"distinct":   strconv.FormatInt(res.Distinct, 10),
+			"violations": strconv.Itoa(res.Violations),
+			"exhausted":  strconv.FormatBool(res.Exhausted),
+		},
+	})
 	return res
 }

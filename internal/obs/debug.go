@@ -7,32 +7,55 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 var (
 	publishMu sync.Mutex
-	published = map[string]bool{}
+	published = map[string]*registryHolder{}
 )
+
+// registryHolder is the indirection behind an expvar name: the expvar
+// closure reads whatever registry the holder currently points at, so
+// republishing under the same name swaps the registry atomically instead of
+// silently keeping the first one (expvar.Publish itself is
+// register-once-per-process).
+type registryHolder struct {
+	v atomic.Pointer[Registry]
+}
+
+func (h *registryHolder) load() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.v.Load()
+}
 
 // publish exposes the registry under an expvar name, tolerating repeated
 // calls (expvar.Publish panics on duplicates; CLI subcommands may start
-// more than one debug server per process in tests).
-func publish(name string, r *Registry) {
+// more than one debug server per process in tests). A repeated publish
+// under the same name re-points the exported var at the newest registry —
+// the endpoint must never keep serving a previous run's stale snapshot.
+func publish(name string, r *Registry) *registryHolder {
 	publishMu.Lock()
 	defer publishMu.Unlock()
-	if published[name] {
-		return
+	h := published[name]
+	if h == nil {
+		h = &registryHolder{}
+		published[name] = h
+		expvar.Publish(name, expvar.Func(func() any { return h.load().Snapshot() }))
 	}
-	published[name] = true
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	h.v.Store(r)
+	return h
 }
 
 // ServeDebug starts an HTTP server on addr exposing net/http/pprof under
-// /debug/pprof/ and expvar (including the registry snapshot as the
-// "sandtable" var) under /debug/vars — the profiling hooks for long
-// exploration runs. It returns the bound address (useful with ":0") and a
-// shutdown func. The server runs until stopped; handler errors surface on
-// the returned channel-free API as best-effort logging by net/http.
+// /debug/pprof/, expvar (including the registry snapshot as the "sandtable"
+// var) under /debug/vars, and the registry in Prometheus text format under
+// /metrics — the profiling and scrape hooks for long exploration runs. It
+// returns the bound address (useful with ":0") and a shutdown func. The
+// server runs until stopped; handler errors surface on the returned
+// channel-free API as best-effort logging by net/http.
 func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
 	if reg != nil {
 		publish("sandtable", reg)
@@ -44,6 +67,10 @@ func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	// Each server scrapes its own registry: two concurrent runs in one
+	// process get distinct /metrics endpoints, while the process-global
+	// expvar var tracks whichever run published last.
+	mux.Handle("/metrics", PrometheusHandler(func() *Registry { return reg }))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)

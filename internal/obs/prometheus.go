@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format export (version 0.0.4, the format every Prometheus
+// server scrapes). Zero-dependency like the rest of the package: the
+// renderer walks the registry directly and writes families in sorted order,
+// so output is deterministic and diffable. Counters and gauges map to their
+// Prometheus namesakes; histograms render the full cumulative bucket series
+// plus _sum and _count, so quantiles can be computed server-side with
+// histogram_quantile().
+
+// promNamespace prefixes every exported metric name.
+const promNamespace = "sandtable_"
+
+// promName sanitises a registry metric name into a legal Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names use dots and brackets
+// ("fpset.entries", "conformance.worker[0].walks"); every illegal rune
+// becomes an underscore and a leading digit gets one prepended.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamespace) + len(name))
+	b.WriteString(promNamespace)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in Prometheus text format. Nil
+// registries render nothing. The writer's error is returned (first error
+// wins); rendering itself cannot fail.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	var names []string
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s SandTable counter %s\n# TYPE %s counter\n%s %d\n",
+			pn, name, pn, pn, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s SandTable gauge %s\n# TYPE %s gauge\n%s %d\n",
+			pn, name, pn, pn, r.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s SandTable histogram %s\n# TYPE %s histogram\n", pn, name, pn); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, strconv.FormatInt(b, 10), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, cum, pn, h.Sum(), pn, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves the latest registry held by get (an indirection,
+// so a republished registry is picked up scrape-to-scrape) in text format
+// on every request.
+func PrometheusHandler(get func() *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, get())
+	})
+}

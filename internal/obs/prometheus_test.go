@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|NaN|[+-]Inf)$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// validatePromText enforces promtool-style line rules on a Prometheus
+// text-format (0.0.4) exposition: legal metric and label names, parseable
+// values, a TYPE line before the first sample of each family, histogram
+// samples restricted to _bucket/_sum/_count with an le label and cumulative
+// bucket counts ending at +Inf.
+func validatePromText(t *testing.T, text string) {
+	t.Helper()
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	types := map[string]string{} // family -> counter|gauge|histogram
+	var lastBucket map[string]int64
+	var lastBucketFamily string
+	sawInf := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) < 2 || !promNameRe.MatchString(parts[0]) {
+				t.Fatalf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !promNameRe.MatchString(parts[0]) {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", lineNo, parts[1])
+			}
+			if _, dup := types[parts[0]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", lineNo, parts[0])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", lineNo, line)
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labels := m[1], m[3]
+		if labels != "" {
+			for _, lp := range strings.Split(labels, ",") {
+				if !promLabelRe.MatchString(lp) {
+					t.Fatalf("line %d: malformed label pair %q", lineNo, lp)
+				}
+			}
+		}
+		family := name
+		isBucket := false
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, sfx); ok {
+				if _, histo := types[f]; histo {
+					family = f
+					isBucket = sfx == "_bucket"
+					break
+				}
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			t.Fatalf("line %d: sample %s has no preceding TYPE line", lineNo, name)
+		}
+		if typ == "histogram" && family == name && !isBucket {
+			t.Fatalf("line %d: histogram family %s has bare sample %s", lineNo, family, name)
+		}
+		if isBucket {
+			if !strings.Contains(labels, `le="`) {
+				t.Fatalf("line %d: bucket sample without le label: %q", lineNo, line)
+			}
+			v, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket count %q not an integer", lineNo, m[4])
+			}
+			if lastBucketFamily != family {
+				lastBucketFamily, lastBucket = family, map[string]int64{}
+			}
+			if prev, ok := lastBucket["cum"]; ok && v < prev {
+				t.Fatalf("line %d: bucket counts not cumulative (%d < %d)", lineNo, v, prev)
+			}
+			lastBucket["cum"] = v
+			if strings.Contains(labels, `le="+Inf"`) {
+				sawInf[family] = true
+			}
+		}
+	}
+	for family, typ := range types {
+		if typ == "histogram" && !sawInf[family] {
+			t.Fatalf("histogram %s has no +Inf bucket", family)
+		}
+	}
+}
+
+// TestWritePrometheusFormat renders a mixed registry and validates the
+// exposition against the promtool-style rules, then spot-checks values.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("transitions").Add(42)
+	reg.Counter("phase.explore_ns").Add(123456)
+	reg.Gauge("queue_len").Set(7)
+	reg.Gauge("fpset.entries").Set(99)
+	reg.Gauge("conformance.worker[0].walks").Set(3)
+	h := reg.Histogram("walk_depth", []int64{5, 10, 100})
+	for _, v := range []int64{1, 4, 6, 7, 50, 2000} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	validatePromText(t, text)
+
+	for _, want := range []string{
+		"sandtable_transitions 42",
+		"sandtable_phase_explore_ns 123456",
+		"sandtable_queue_len 7",
+		"sandtable_fpset_entries 99",
+		"sandtable_conformance_worker_0__walks 3",
+		`sandtable_walk_depth_bucket{le="5"} 2`,
+		`sandtable_walk_depth_bucket{le="10"} 4`,
+		`sandtable_walk_depth_bucket{le="100"} 5`,
+		`sandtable_walk_depth_bucket{le="+Inf"} 6`,
+		"sandtable_walk_depth_count 6",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Rendering is deterministic.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, reg); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != text {
+		t.Fatal("non-deterministic exposition")
+	}
+
+	// Nil registry renders nothing and errors nowhere.
+	if err := WritePrometheus(io.Discard, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsEndpoint scrapes the /metrics endpoint of a live ServeDebug
+// server and validates the response like a Prometheus scraper would.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("distinct_states").Add(1234)
+	reg.Histogram("depth", []int64{1, 10}).Observe(3)
+	addr, stop, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	validatePromText(t, text)
+	if !strings.Contains(text, "sandtable_distinct_states 1234") {
+		t.Fatalf("scrape missing counter:\n%s", text)
+	}
+}
+
+// TestPromName checks metric-name sanitisation keeps names legal.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"distinct_states":             "sandtable_distinct_states",
+		"fpset.entries":               "sandtable_fpset_entries",
+		"conformance.worker[3].walks": "sandtable_conformance_worker_3__walks",
+		"0weird":                      "sandtable_0weird",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameRe.MatchString(promName(in)) {
+			t.Fatalf("promName(%q) = %q not legal", in, promName(in))
+		}
+	}
+}
+
+// TestPublishRepointsRegistry is the regression test for the stale-registry
+// bug: a second Registry published under the same expvar name must replace
+// the first at the endpoint, not be silently dropped.
+func TestPublishRepointsRegistry(t *testing.T) {
+	reg1 := NewRegistry()
+	reg1.Counter("run").Add(1)
+	h := publish("sandtable_test_republish", reg1)
+	if got := h.load().Counter("run").Value(); got != 1 {
+		t.Fatalf("first publish: run = %d", got)
+	}
+
+	reg2 := NewRegistry()
+	reg2.Counter("run").Add(2)
+	h2 := publish("sandtable_test_republish", reg2)
+	if h2 != h {
+		t.Fatal("republish created a second holder for the same name")
+	}
+	if got := h.load().Counter("run").Value(); got != 2 {
+		t.Fatalf("endpoint still serves the stale registry: run = %d, want 2", got)
+	}
+
+	// The expvar endpoint (which closes over the holder) sees the swap too:
+	// two ServeDebug servers in one process, second registry wins.
+	addr1, stop1, err := ServeDebug("127.0.0.1:0", reg1mark(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop1()
+	addr2, stop2, err := ServeDebug("127.0.0.1:0", reg1mark(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	for _, addr := range []string{addr1, addr2} {
+		resp, err := http.Get("http://" + addr + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), `"mark":2`) {
+			t.Fatalf("expvar on %s serves a stale registry:\n%s", addr, body)
+		}
+	}
+}
+
+func reg1mark(v int64) *Registry {
+	r := NewRegistry()
+	r.Gauge("mark").Set(v)
+	return r
+}
+
+// TestPublishConcurrent republishes under one name from many goroutines
+// while snapshotting — the indirection must be race-free (run with -race).
+func TestPublishConcurrent(t *testing.T) {
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				r := NewRegistry()
+				r.Counter(fmt.Sprintf("g%d", g)).Add(int64(i))
+				h := publish("sandtable_test_concurrent", r)
+				_ = h.load().Snapshot()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -117,6 +117,41 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// Prometheus histogram_quantile-style: the target rank is located in its
+// bucket and interpolated linearly between the bucket's bounds. Ranks
+// landing in the +Inf bucket report the highest finite bound (the estimate
+// is then a lower bound, as in Prometheus). Returns 0 for an empty or nil
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i, b := range h.bounds {
+		prev := cum
+		cum += h.counts[i].Load()
+		if float64(cum) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			inBucket := cum - prev
+			if inBucket == 0 {
+				return float64(b)
+			}
+			frac := (rank - float64(prev)) / float64(inBucket)
+			return float64(lo) + frac*float64(b-lo)
+		}
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -228,7 +263,8 @@ func (r *Registry) StartPhase(name string) func() {
 }
 
 // Snapshot renders every metric into a flat map: counters and gauges by
-// name, histograms as <name>.count, <name>.sum, <name>.mean, and cumulative
+// name, histograms as <name>.count, <name>.sum, <name>.mean, estimated
+// <name>.p50 / <name>.p90 / <name>.p99 quantiles, and cumulative
 // <name>.le_<bound> / <name>.le_inf buckets. Nil registries snapshot empty.
 func (r *Registry) Snapshot() map[string]any {
 	out := make(map[string]any)
@@ -248,6 +284,9 @@ func (r *Registry) Snapshot() map[string]any {
 		out[name+".sum"] = h.Sum()
 		if n := h.Count(); n > 0 {
 			out[name+".mean"] = float64(h.Sum()) / float64(n)
+			out[name+".p50"] = h.Quantile(0.50)
+			out[name+".p90"] = h.Quantile(0.90)
+			out[name+".p99"] = h.Quantile(0.99)
 		}
 		var cum int64
 		for i, b := range h.bounds {

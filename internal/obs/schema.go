@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+)
+
+// Artifact schema versioning. Two artifact families leave a run:
+//
+//   - the JSONL event stream written by Tracer (-trace-out): one Event per
+//     line, each stamped with the schema version in its "v" field;
+//   - the metrics snapshot JSON written at exit (-metrics-out): the flat
+//     registry snapshot plus "schema", "result", and "cover" objects.
+//
+// The version policy mirrors the checkpoint format's: a bump is
+// backwards-incompatible by design. Tooling (scripts/checktrace, `sandtable
+// report`) refuses records carrying a version it does not read rather than
+// guessing; additive changes (new detail keys, new metric names) do NOT
+// bump the version — only renaming/removing fields or changing their
+// meaning does.
+const (
+	// TraceSchemaVersion is stamped into every emitted Event's V field.
+	TraceSchemaVersion = 1
+	// MetricsSchemaVersion is recorded under the "schema" key of metrics
+	// snapshots and inside Cover profiles.
+	MetricsSchemaVersion = 1
+)
+
+// KnownLayers enumerates the subsystems that emit trace events. The
+// checktrace validator treats an unknown layer as a schema violation, so a
+// new emitting layer must be added here (that is an additive change, not a
+// version bump).
+var KnownLayers = map[string]bool{
+	"spec":        true,
+	"engine":      true,
+	"vnet":        true,
+	"replay":      true,
+	"conformance": true,
+	"shrink":      true,
+	"obs":         true,
+}
+
+// ValidateEvent checks one decoded trace event against the versioned
+// schema: a version this build reads, a known layer, a non-empty kind, and
+// a positive sequence number. It is the single source of truth shared by
+// the checktrace CI validator and the unit tests.
+func ValidateEvent(e Event) error {
+	if e.V != TraceSchemaVersion {
+		return fmt.Errorf("obs: event seq %d: schema version %d, this build reads %d", e.Seq, e.V, TraceSchemaVersion)
+	}
+	if e.Seq <= 0 {
+		return fmt.Errorf("obs: event has non-positive seq %d", e.Seq)
+	}
+	if !KnownLayers[e.Layer] {
+		return fmt.Errorf("obs: event seq %d: unknown layer %q", e.Seq, e.Layer)
+	}
+	if e.Kind == "" {
+		return fmt.Errorf("obs: event seq %d (layer %s): empty kind", e.Seq, e.Layer)
+	}
+	if e.Node < -1 {
+		return fmt.Errorf("obs: event seq %d: node %d out of range", e.Seq, e.Node)
+	}
+	return nil
+}
+
+// ValidateMetrics checks a decoded metrics snapshot (the -metrics-out JSON)
+// against the schema: a version this build reads and numeric values for
+// every flat metric key ("result" and "cover" are structured sub-objects
+// and are exempt).
+func ValidateMetrics(snap map[string]any) error {
+	v, ok := snap["schema"]
+	if !ok {
+		return fmt.Errorf("obs: metrics snapshot has no schema version")
+	}
+	ver, ok := v.(float64) // encoding/json decodes numbers as float64
+	if !ok || int(ver) != MetricsSchemaVersion {
+		return fmt.Errorf("obs: metrics snapshot schema version %v, this build reads %d", v, MetricsSchemaVersion)
+	}
+	for key, val := range snap {
+		switch key {
+		case "schema", "result", "cover":
+			continue
+		}
+		switch val.(type) {
+		case float64, int64, int:
+		default:
+			return fmt.Errorf("obs: metrics key %q has non-numeric value %T", key, val)
+		}
+	}
+	return nil
+}

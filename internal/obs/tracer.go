@@ -16,6 +16,9 @@ import (
 // material trace-validation work such as "Validating Traces of Distributed
 // Programs Against TLA+ Specifications" builds on).
 type Event struct {
+	// V is the trace schema version (assigned on emit; see
+	// TraceSchemaVersion for the versioning policy).
+	V int `json:"v"`
 	// Seq is a per-tracer monotonic sequence number (assigned on emit).
 	Seq int64 `json:"seq"`
 	// Layer names the emitting subsystem: "engine", "vnet", "replay",
@@ -66,6 +69,7 @@ func (t *Tracer) Emit(e Event) {
 	}
 	t.seq++
 	e.Seq = t.seq
+	e.V = TraceSchemaVersion
 	t.err = t.enc.Encode(e)
 }
 

@@ -124,6 +124,29 @@ type FastSymmetric interface {
 	PermutedFingerprint(s State, perm []int) uint64
 }
 
+// ActionLister is an optional Machine capability declaring the full action
+// vocabulary of the specification: every name that can appear as
+// trace.Event.Action under the machine's configuration and budget. The
+// coverage profiler (obs.Cover) diffs fired actions against this declared
+// set to flag actions that never fired — an enabled-but-unreached part of
+// the model that a raw fire-count profile cannot see. The list should be
+// conditioned on the instance (budgets, feature switches): declaring an
+// action the configuration makes impossible produces a false "never fired"
+// flag.
+type ActionLister interface {
+	// Actions returns the declared action names in a stable order.
+	Actions() []string
+}
+
+// DeclaredActions returns the machine's declared action vocabulary, or nil
+// when the machine does not implement ActionLister.
+func DeclaredActions(m Machine) []string {
+	if al, ok := m.(ActionLister); ok {
+		return al.Actions()
+	}
+	return nil
+}
+
 // Config instantiates a model: the node count and the workload values that
 // client requests write (the paper's "system configurations" in §3.3).
 type Config struct {

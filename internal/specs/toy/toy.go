@@ -120,6 +120,16 @@ func succ(action string, node int, s spec.State) spec.Succ {
 	}
 }
 
+// Actions implements spec.ActionLister: the declared action vocabulary,
+// conditioned on the Atomic switch (the atomic fix removes Read/Write and
+// adds IncAtomic).
+func (m *LostUpdate) Actions() []string {
+	if m.Atomic {
+		return []string{"IncAtomic"}
+	}
+	return []string{"Read", "Write"}
+}
+
 // Invariants implements spec.Machine: when every process is done, the
 // counter must equal N.
 func (m *LostUpdate) Invariants() []spec.Invariant {

@@ -49,3 +49,14 @@ END { print "\n  ]\n}" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Snapshot a metrics dump next to the benchmark report: one bounded xraft
+# exploration with the coverage profiler on, so the baseline carries the
+# registry counters and per-action/per-depth profile behind the throughput
+# numbers. The dump follows the versioned -metrics-out schema and renders
+# with `sandtable report -metrics <file>`.
+METRICS="${BENCH_METRICS_OUT:-${OUT%.json}_metrics.json}"
+go run ./cmd/sandtable check -system xraft -max-states 20000 -deadline 60s \
+    -metrics-out "$METRICS" >/dev/null
+
+echo "wrote $METRICS"

@@ -1,0 +1,117 @@
+// Command checktrace validates SandTable observability artifacts against
+// the versioned schema in internal/obs: JSONL event streams written by
+// -trace-out and metrics snapshots written by -metrics-out. `make
+// checktrace` (part of `make ci`) regenerates small artifacts from a
+// bounded run and gates them through this validator, so schema drift fails
+// CI before it breaks downstream tooling (`sandtable report`, dashboards
+// scraping /metrics, archived run artifacts).
+//
+// Usage: checktrace [-metrics FILE] [TRACE.jsonl ...]
+//
+// Every trace event must parse, pass obs.ValidateEvent (readable version,
+// known layer, non-empty kind), and carry a strictly increasing sequence
+// number within its file. The metrics snapshot must pass
+// obs.ValidateMetrics, and an embedded coverage profile must carry a
+// readable schema version. The exit status is the gate: 0 only if every
+// artifact validates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sandtable-go/sandtable/internal/obs"
+)
+
+func main() {
+	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to validate (-metrics-out artifact)")
+	flag.Parse()
+	if *metricsPath == "" && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace [-metrics FILE] [TRACE.jsonl ...]")
+		os.Exit(2)
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "checktrace: "+format+"\n", args...)
+		failed = true
+	}
+
+	for _, path := range flag.Args() {
+		n, err := checkTraceFile(path)
+		if err != nil {
+			fail("%s: %v", path, err)
+			continue
+		}
+		fmt.Printf("%s: %d event(s) OK\n", path, n)
+	}
+	if *metricsPath != "" {
+		if err := checkMetricsFile(*metricsPath); err != nil {
+			fail("%s: %v", *metricsPath, err)
+		} else {
+			fmt.Printf("%s: metrics snapshot OK\n", *metricsPath)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkTraceFile validates one JSONL event stream and returns the event
+// count. Beyond per-event schema checks, sequence numbers must be strictly
+// increasing — the writer is serialized, so a regression here means events
+// were reordered or duplicated between emission and disk.
+func checkTraceFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		return 0, err
+	}
+	lastSeq := int64(0)
+	for i, e := range events {
+		if err := obs.ValidateEvent(e); err != nil {
+			return 0, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		if e.Seq <= lastSeq {
+			return 0, fmt.Errorf("line %d: seq %d not strictly increasing (previous %d)", i+1, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+	}
+	return len(events), nil
+}
+
+// checkMetricsFile validates one metrics snapshot, including the schema
+// version of an embedded coverage profile when present.
+func checkMetricsFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return err
+	}
+	if err := obs.ValidateMetrics(snap); err != nil {
+		return err
+	}
+	if cv, ok := snap["cover"]; ok && cv != nil {
+		buf, err := json.Marshal(cv)
+		if err != nil {
+			return fmt.Errorf("cover: %w", err)
+		}
+		var cover obs.Cover
+		if err := json.Unmarshal(buf, &cover); err != nil {
+			return fmt.Errorf("cover: %w", err)
+		}
+		if cover.Schema != obs.MetricsSchemaVersion {
+			return fmt.Errorf("cover: schema version %d, this build reads %d", cover.Schema, obs.MetricsSchemaVersion)
+		}
+	}
+	return nil
+}
