@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-conform fuzz docs checktrace ci bench benchdiff clean
+.PHONY: all build vet test race race-conform fuzz docs checktrace soak ci bench benchdiff clean
 
 all: ci
 
@@ -49,11 +49,29 @@ checktrace:
 	$(GO) run ./scripts/checktrace -metrics "$$tmp/metrics.json" "$$tmp/trace.jsonl" && \
 	grep -q '## Action coverage' "$$tmp/report.md"
 
+# soak exercises the out-of-core path end to end: a GOMEMLIMIT-capped
+# raftbase-family run under a deliberately tiny -mem-budget, so the
+# fingerprint set must spill shards to disk, with a tight checkpoint
+# cadence so the incremental delta log engages; then a resume leg reloads
+# the committed base+delta chain and rebuilds the frontier by guided
+# replay. checktrace -require asserts the spill and delta counters actually
+# moved — a soak that fits comfortably in RAM proves nothing.
+soak:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	GOMEMLIMIT=512MiB $(GO) run ./cmd/sandtable check -system craft -fixed -max-states 30000 -deadline 120s \
+		-mem-budget 256KiB -spill-dir "$$tmp/spill" -checkpoint "$$tmp/ck" -checkpoint-states 5000 \
+		-metrics-out "$$tmp/metrics.json" -trace-out "$$tmp/trace.jsonl" >/dev/null && \
+	$(GO) run ./scripts/checktrace -metrics "$$tmp/metrics.json" \
+		-require fpset.spilled_entries -require checkpoint.deltas "$$tmp/trace.jsonl" && \
+	GOMEMLIMIT=512MiB $(GO) run ./cmd/sandtable check -system craft -fixed -max-states 40000 -deadline 120s \
+		-mem-budget 256KiB -spill-dir "$$tmp/spill" -checkpoint "$$tmp/ck" -resume >/dev/null && \
+	echo "soak: spill + delta checkpoint + resume OK"
+
 # ci is the gate every change must pass: compile, static checks, the docs
 # gate, the full test suite under the race detector, the repeated race run
-# of the parallel conformance pool, a short fuzz smoke, and the
-# observability artifact schema gate.
-ci: build vet docs race race-conform fuzz checktrace
+# of the parallel conformance pool, a short fuzz smoke, the observability
+# artifact schema gate, and the out-of-core soak.
+ci: build vet docs race race-conform fuzz checktrace soak
 
 # bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
 # (see scripts/bench.sh for the JSON shape).

@@ -132,6 +132,47 @@ func BenchmarkTable3Exploration(b *testing.B) {
 	}
 }
 
+// BenchmarkSpillExploration contrasts in-RAM exploration with the same run
+// under a memory budget far below its working set, so BENCH_explorer.json
+// tracks what the out-of-core path costs: the budgeted run spills frozen
+// fingerprint-set shards to sorted disk runs at every level boundary and
+// answers dedup probes through the min/max+bloom-gated disk index. (The
+// distributed-system specs carry no spec.StateCodec, so the frontier stays
+// in RAM here; the fingerprint set is what grows without bound anyway.)
+func BenchmarkSpillExploration(b *testing.B) {
+	sys, err := integrations.Get("craft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := spec.Config{Name: "n3w2", Nodes: 3, Workload: []string{"v1", "v2"}}
+	for _, m := range []struct {
+		label  string
+		budget int64
+	}{
+		{"inram", 0},
+		{"spill", 256 << 10},
+	} {
+		m := m
+		b.Run(m.label, func(b *testing.B) {
+			var perSec float64
+			for i := 0; i < b.N; i++ {
+				st := sandtable.New(sys, cfg, experiments.Exp1Budget("craft"), bugdb.NoBugs())
+				res := st.Check(explorer.Options{
+					Symmetry: true, StopAtFirstViolation: true,
+					MaxStates: 60_000, Workers: 4, Cover: true,
+					MemBudget: m.budget, SpillDir: b.TempDir(),
+				})
+				if v := res.FirstViolation(); v != nil {
+					b.Fatalf("bug-fixed spec violated %s: %v", v.Invariant, v.Err)
+				}
+				perSec = res.StatesPerSecond()
+			}
+			b.ReportMetric(perSec, "states/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
 // BenchmarkConformance measures conformance-checking throughput (§3.2: walk
 // generation plus implementation-level replay on a fresh cluster per walk)
 // at 1, 4, and NumCPU replay workers, so scripts/bench.sh records the

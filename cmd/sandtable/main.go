@@ -355,6 +355,32 @@ func (f *sessionFlags) session() (*sandtable.SandTable, error) {
 	return sandtable.New(sys, cfg, budget, bugs), nil
 }
 
+// resolveMemBudget turns the -mem-budget flag into a byte count. An empty
+// flag defers to the GOMEMLIMIT environment variable when one is set: half
+// the runtime's soft limit goes to exploration state, leaving the rest for
+// transient expansion buffers, so a process capped by its operator spills
+// instead of thrashing the GC. Returns 0 (no budget) when neither is set.
+func resolveMemBudget(flagVal string) (int64, error) {
+	if flagVal != "" {
+		n, err := explorer.ParseByteSize(flagVal)
+		if err != nil {
+			return 0, fmt.Errorf("-mem-budget: %w", err)
+		}
+		return n, nil
+	}
+	env := os.Getenv("GOMEMLIMIT")
+	if env == "" || env == "off" {
+		return 0, nil
+	}
+	n, err := explorer.ParseByteSize(env)
+	if err != nil {
+		// GOMEMLIMIT is the runtime's contract, not ours; an unparsable
+		// value is its problem and not a reason to refuse the run.
+		return 0, nil
+	}
+	return n / 2, nil
+}
+
 func runCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	sf := addSessionFlags(fs)
@@ -366,6 +392,8 @@ func runCheck(args []string) error {
 	ckEvery := fs.Duration("checkpoint-every", 0, "minimum wall-clock time between snapshots (default 60s once -checkpoint is set)")
 	ckStates := fs.Int("checkpoint-states", 0, "also snapshot every N newly discovered distinct states")
 	resume := fs.Bool("resume", false, "resume from the snapshot in the -checkpoint directory instead of starting fresh")
+	memBudget := fs.String("mem-budget", "", "hard memory budget for exploration state (e.g. 8GiB); over budget the fingerprint set and frontier spill to disk (default: half of GOMEMLIMIT when that is set)")
+	spillDir := fs.String("spill-dir", "", "directory for spill scratch files (default: the -checkpoint directory, else the system temp dir)")
 	doShrink := fs.Bool("shrink", false, "minimize the counterexample with delta debugging (ddmin) before printing/writing it")
 	showTrace := fs.Bool("trace", true, "print the counterexample trace")
 	out := fs.String("o", "", "write the counterexample trace as JSON (replay it with `sandtable replay -trace <file>`)")
@@ -373,6 +401,10 @@ func runCheck(args []string) error {
 
 	if *resume && *ckDir == "" {
 		return fmt.Errorf("check: -resume requires -checkpoint <dir>")
+	}
+	budget, err := resolveMemBudget(*memBudget)
+	if err != nil {
+		return fmt.Errorf("check: %w", err)
 	}
 	st, err := sf.session()
 	if err != nil {
@@ -387,6 +419,8 @@ func runCheck(args []string) error {
 	opts.Workers = *workers
 	opts.MaxStates = *maxStates
 	opts.FPSetShards = *fpShards
+	opts.MemBudget = budget
+	opts.SpillDir = *spillDir
 	opts.Cover = true
 	if *ckDir != "" {
 		opts.Checkpoint = explorer.CheckpointOptions{
@@ -422,6 +456,15 @@ func runCheck(args []string) error {
 	}
 	if res.Checkpoints > 0 {
 		fmt.Printf("%d checkpoint(s) written to %s (resume with -checkpoint %s -resume)\n", res.Checkpoints, *ckDir, *ckDir)
+	}
+	if budget > 0 {
+		s := o.reg.Snapshot()
+		spilled, _ := s["fpset.spilled_entries"].(int64)
+		fbytes, _ := s["explorer.frontier_spill_bytes"].(int64)
+		if spilled > 0 || fbytes > 0 {
+			fmt.Printf("memory budget %.1f MiB: spilled %d fingerprints and %.1f MiB of frontier to disk\n",
+				float64(budget)/(1<<20), spilled, float64(fbytes)/(1<<20))
+		}
 	}
 	v := res.FirstViolation()
 	if v == nil {

@@ -144,16 +144,49 @@ func (c *Checker) initDigest() uint64 {
 
 // checkpointer drives the snapshot cadence for one run, reusing the obs
 // reporter clock/cadence machinery (a Reporter with the write callback as
-// its ProgressFunc).
+// its ProgressFunc), and tracks the incremental chain: the current base
+// snapshot plus the committed delta log appended to it (see delta.go).
 type checkpointer struct {
 	opts     CheckpointOptions
 	reporter *obs.Reporter
-	metrics  *runMetrics
-	tracer   *obs.Tracer
+	// warn is the run's user-facing progress reporter; checkpoint failures
+	// surface there as warnings instead of aborting the run.
+	warn    *obs.Reporter
+	metrics *runMetrics
+	tracer  *obs.Tracer
+
+	// Chain state. haveBase is false until a full snapshot has been
+	// written (or adopted from a resume); afterwards checkpoints append
+	// deltas until the log outgrows the base, which triggers a compaction
+	// (fresh full snapshot, chain reset).
+	haveBase   bool
+	baseCRC    uint32
+	baseBytes  int64
+	deltaBytes int64
+	deltaCount int
+	// lastDepth is the depth covered by the last committed checkpoint;
+	// the next delta carries entries with Depth in (lastDepth, depth].
+	lastDepth int
 }
 
-// newCheckpointer returns nil when checkpointing is disabled.
-func (c *Checker) newCheckpointer(metrics *runMetrics) *checkpointer {
+// ckChainState carries a resumed delta chain from resume() to the
+// checkpointer, so a resumed run keeps appending instead of rewriting.
+type ckChainState struct {
+	baseCRC    uint32
+	baseBytes  int64
+	deltaBytes int64
+	deltaCount int
+	depth      int
+}
+
+// ckWriterWrap wraps every checkpoint writer (base snapshot, delta append,
+// commit record). Production leaves it as the identity; fault-injection
+// tests swap it to simulate ENOSPC/partial writes.
+var ckWriterWrap = func(w io.Writer) io.Writer { return w }
+
+// newCheckpointer returns nil when checkpointing is disabled. Called after
+// resume so an existing committed chain is adopted.
+func (c *Checker) newCheckpointer(metrics *runMetrics, warn *obs.Reporter) *checkpointer {
 	o := c.opts.Checkpoint
 	if !o.enabled() {
 		return nil
@@ -162,7 +195,15 @@ func (c *Checker) newCheckpointer(metrics *runMetrics) *checkpointer {
 	if interval == 0 && o.EveryStates == 0 {
 		interval = 60 * time.Second
 	}
-	ck := &checkpointer{opts: o, metrics: metrics, tracer: c.opts.Tracer}
+	ck := &checkpointer{opts: o, metrics: metrics, tracer: c.opts.Tracer, warn: warn}
+	if ch := c.ckChain; ch != nil {
+		ck.haveBase = true
+		ck.baseCRC = ch.baseCRC
+		ck.baseBytes = ch.baseBytes
+		ck.deltaBytes = ch.deltaBytes
+		ck.deltaCount = ch.deltaCount
+		ck.lastDepth = ch.depth
+	}
 	// The ProgressFunc is a sentinel: the reporter is used purely for its
 	// Due/Emit cadence bookkeeping; the snapshot write happens in
 	// maybeWrite between Due and Emit.
@@ -170,10 +211,13 @@ func (c *Checker) newCheckpointer(metrics *runMetrics) *checkpointer {
 	return ck
 }
 
-// maybeWrite writes a snapshot if the cadence is due. Write failures do not
-// abort the exploration: the error is recorded as a trace event and the run
-// carries on (the previous snapshot, if any, is still intact).
-func (ck *checkpointer) maybeWrite(c *Checker, res *Result, depth int, frontier []frontierEntry, elapsed time.Duration) {
+// maybeWrite advances the checkpoint chain if the cadence is due: a full
+// snapshot when there is no base yet or the delta log has outgrown the base
+// (compaction), an appended delta block otherwise. Write failures do not
+// abort the exploration: the previous committed chain stays valid, the
+// error is recorded as a trace event plus a checkpoint.errors tick, and a
+// warning reaches the progress reporter.
+func (ck *checkpointer) maybeWrite(c *Checker, res *Result, depth int, lf *levelFrontier, elapsed time.Duration) {
 	if !ck.reporter.Due(res.DistinctStates) {
 		return
 	}
@@ -181,18 +225,55 @@ func (ck *checkpointer) maybeWrite(c *Checker, res *Result, depth int, frontier 
 	if c.opts.Metrics != nil {
 		stop = c.opts.Metrics.StartPhase("checkpoint")
 	}
-	err := writeSnapshot(ck.opts, c, res, depth, frontier, elapsed)
+	fps, err := lf.fps(nil)
+	kind := "full"
+	if err == nil {
+		if full := !ck.haveBase || ck.deltaBytes > ck.baseBytes; full {
+			compaction := ck.haveBase
+			var size int64
+			var crc uint32
+			if size, crc, err = writeSnapshot(ck.opts, c, res, depth, fps, elapsed); err == nil {
+				// Retire the old chain. If a crash lands between the
+				// snapshot rename and these removes, the stale chain's
+				// base CRC no longer matches and resume ignores it.
+				os.Remove(filepath.Join(ck.opts.Dir, commitFile))
+				os.Remove(filepath.Join(ck.opts.Dir, deltaFile))
+				ck.haveBase, ck.baseCRC, ck.baseBytes = true, crc, size
+				ck.deltaBytes, ck.deltaCount = 0, 0
+				if compaction && ck.metrics != nil {
+					ck.metrics.ckCompactions.Inc()
+				}
+			}
+		} else {
+			kind = "delta"
+			var blockLen int64
+			if blockLen, err = ck.appendDelta(c, res, depth, fps, elapsed); err == nil {
+				ck.deltaBytes += blockLen
+				ck.deltaCount++
+				if ck.metrics != nil {
+					ck.metrics.ckDeltas.Inc()
+					ck.metrics.ckDeltaBytes.Add(blockLen)
+				}
+			}
+		}
+	}
 	if stop != nil {
 		stop()
 	}
 	detail := map[string]string{
+		"kind":     kind,
 		"depth":    fmt.Sprint(depth),
 		"distinct": fmt.Sprint(res.DistinctStates),
-		"frontier": fmt.Sprint(len(frontier)),
+		"frontier": fmt.Sprint(lf.size()),
 	}
 	if err != nil {
 		detail["error"] = err.Error()
+		if ck.metrics != nil {
+			ck.metrics.ckErrors.Inc()
+		}
+		ck.warn.Warnf("checkpoint failed (previous checkpoint still valid): %v", err)
 	} else {
+		ck.lastDepth = depth
 		res.Checkpoints++
 		if ck.metrics != nil {
 			ck.metrics.checkpoints.Inc()
@@ -202,26 +283,9 @@ func (ck *checkpointer) maybeWrite(c *Checker, res *Result, depth int, frontier 
 	ck.reporter.Emit(obs.Progress{DistinctStates: res.DistinctStates})
 }
 
-// writeSnapshot serialises the run state into Dir/checkpoint.snap via an
-// atomic rename. Layout:
-//
-//	magic[8] version[u32] headerLen[u32] headerJSON
-//	frontierCount[u64] frontierFP[u64]...
-//	fpset stream (see fpset.WriteTo)
-//	crc32[u32] of everything prior (IEEE)
-func writeSnapshot(o CheckpointOptions, c *Checker, res *Result, depth int, frontier []frontierEntry, elapsed time.Duration) error {
-	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(o.Dir, "checkpoint-*.tmp")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		tmp.Close()
-		os.Remove(tmp.Name()) // no-op after successful rename
-	}()
-
+// buildHeader assembles the snapshot header shared by full snapshots and
+// delta blocks.
+func buildHeader(o CheckpointOptions, c *Checker, res *Result, depth int, elapsed time.Duration) snapshotHeader {
 	hdr := snapshotHeader{
 		Version:        snapVersion,
 		Label:          o.Label,
@@ -242,56 +306,101 @@ func writeSnapshot(o CheckpointOptions, c *Checker, res *Result, depth int, fron
 			Invariant: v.Invariant, Error: v.Err.Error(), Depth: v.Depth, FP: v.fp,
 		})
 	}
-	hb, err := json.Marshal(hdr)
+	return hdr
+}
+
+// writeSnapshot serialises the run state into Dir/checkpoint.snap via an
+// atomic rename, returning the file size and trailing CRC (the base
+// identity delta commits refer to). Layout:
+//
+//	magic[8] version[u32] headerLen[u32] headerJSON
+//	frontierCount[u64] frontierFP[u64]...
+//	fpset stream (see fpset.WriteTo)
+//	crc32[u32] of everything prior (IEEE)
+func writeSnapshot(o CheckpointOptions, c *Checker, res *Result, depth int, fps []uint64, elapsed time.Duration) (int64, uint32, error) {
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return 0, 0, err
+	}
+	tmp, err := os.CreateTemp(o.Dir, "checkpoint-*.tmp")
 	if err != nil {
-		return err
+		return 0, 0, err
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op after successful rename
+	}()
+
+	hb, err := json.Marshal(buildHeader(o, c, res, depth, elapsed))
+	if err != nil {
+		return 0, 0, err
 	}
 
 	crc := crc32.NewIEEE()
-	w := io.MultiWriter(tmp, crc)
+	dst := ckWriterWrap(tmp)
+	cw := &countingWriter{w: io.MultiWriter(dst, crc)}
+	w := io.Writer(cw)
 	var scratch [8]byte
 	if _, err := w.Write([]byte(snapMagic)); err != nil {
-		return err
+		return 0, 0, err
 	}
 	binary.LittleEndian.PutUint32(scratch[:4], snapVersion)
 	if _, err := w.Write(scratch[:4]); err != nil {
-		return err
+		return 0, 0, err
 	}
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(hb)))
 	if _, err := w.Write(scratch[:4]); err != nil {
-		return err
+		return 0, 0, err
 	}
 	if _, err := w.Write(hb); err != nil {
-		return err
+		return 0, 0, err
 	}
-	binary.LittleEndian.PutUint64(scratch[:], uint64(len(frontier)))
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(fps)))
 	if _, err := w.Write(scratch[:]); err != nil {
-		return err
+		return 0, 0, err
 	}
-	for _, fe := range frontier {
-		binary.LittleEndian.PutUint64(scratch[:], fe.fp)
+	for _, f := range fps {
+		binary.LittleEndian.PutUint64(scratch[:], f)
 		if _, err := w.Write(scratch[:]); err != nil {
-			return err
+			return 0, 0, err
 		}
 	}
 	if _, err := c.visited.WriteTo(w); err != nil {
-		return err
+		return 0, 0, err
 	}
-	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
-	if _, err := tmp.Write(scratch[:4]); err != nil {
-		return err
+	sum := crc.Sum32()
+	binary.LittleEndian.PutUint32(scratch[:4], sum)
+	if _, err := dst.Write(scratch[:4]); err != nil {
+		return 0, 0, err
 	}
 	if err := tmp.Sync(); err != nil {
-		return err
+		return 0, 0, err
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return 0, 0, err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(o.Dir, snapFile))
+	if err := os.Rename(tmp.Name(), filepath.Join(o.Dir, snapFile)); err != nil {
+		return 0, 0, err
+	}
+	return cw.n + 4, sum, nil
+}
+
+// countingWriter tracks bytes written so the checkpointer can size the base
+// without a Stat round trip.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // resume loads Dir/checkpoint.snap, verifies integrity and model
-// compatibility, installs the fingerprint set, and rebuilds the frontier.
+// compatibility, installs the fingerprint set, applies the committed delta
+// chain (see delta.go), and rebuilds the frontier at the chain's final
+// depth.
 func (c *Checker) resume() error {
 	o := c.opts.Checkpoint
 	path := filepath.Join(o.Dir, snapFile)
@@ -303,7 +412,8 @@ func (c *Checker) resume() error {
 		return fmt.Errorf("%s: truncated snapshot (%d bytes)", path, len(raw))
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
-	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+	baseCRC := binary.LittleEndian.Uint32(tail)
+	if got := crc32.ChecksumIEEE(body); got != baseCRC {
 		return fmt.Errorf("%s: checksum mismatch (snapshot corrupt)", path)
 	}
 	r := body
@@ -358,6 +468,30 @@ func (c *Checker) resume() error {
 		return fmt.Errorf("%s: fingerprint set: %w", path, err)
 	}
 	c.visited = set
+
+	// Apply the committed delta chain on top of the base: each block adds
+	// the fingerprints discovered since the previous checkpoint and
+	// replaces the frontier and counters with its own.
+	blocks, commit, err := loadDeltaChain(o.Dir, baseCRC)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, blk := range blocks {
+		for _, rec := range blk.recs {
+			set.Insert(rec.fp, rec.parent, rec.depth)
+		}
+		hdr = blk.header
+		wantFrontier = make(map[uint64]bool, len(blk.fps))
+		for _, f := range blk.fps {
+			wantFrontier[f] = true
+		}
+	}
+	chain := &ckChainState{baseCRC: baseCRC, baseBytes: int64(len(raw)), depth: hdr.Depth}
+	if commit != nil {
+		chain.deltaBytes = commit.DeltaBytes
+		chain.deltaCount = commit.Deltas
+	}
+	c.ckChain = chain
 
 	frontier, err := c.rebuildFrontier(hdr.Depth, wantFrontier)
 	if err != nil {

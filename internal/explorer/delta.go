@@ -1,0 +1,315 @@
+package explorer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/fpset"
+)
+
+// Incremental crash-safe checkpoints. After the first full snapshot
+// (checkpoint.snap, see checkpoint.go) each further checkpoint appends one
+// delta block to an append-only log instead of rewriting the whole set:
+//
+//	checkpoint.delta  — delta blocks:
+//	    magic[8]="SNDTBLDL" payloadLen[u32] crc32[u32 of payload] payload
+//	    payload: headerLen[u32] headerJSON (full snapshotHeader at the
+//	             delta's depth) frontierCount[u64] frontierFP[u64]...
+//	             recordCount[u64] fpset records (20 bytes each: fp, parent,
+//	             depth) for every entry with Depth in (prevDepth, depth]
+//	checkpoint.commit — JSON commit record naming the number of valid bytes
+//	    of the delta log, written via temp file + fsync + atomic rename
+//	    after the delta append is synced.
+//
+// The delta's record set is exactly "entries discovered since the previous
+// checkpoint": once BFS level P completes, every edge at depth <= P is
+// final (the equal-depth tie-break can no longer fire), so earlier
+// checkpoints already hold those records' final values and never need
+// patching.
+//
+// Commit protocol: append+fsync the delta block, then publish it by
+// atomically renaming a fresh commit record over checkpoint.commit. A crash
+// mid-append leaves a torn tail beyond the committed length, which recovery
+// truncates; a crash before the rename leaves the old commit record naming
+// the old length — same outcome. Committed bytes that fail their CRC mean
+// real corruption and fail the resume loudly.
+//
+// The commit record also names the base snapshot's own CRC, tying the chain
+// to its base: after a compaction (full rewrite of checkpoint.snap) crashes
+// between the snapshot rename and the chain reset, the stale chain's
+// base CRC no longer matches and the chain is ignored — correct, because a
+// compacted base supersedes every delta written against its predecessor.
+
+const (
+	// deltaFile is the append-only delta log within CheckpointOptions.Dir.
+	deltaFile = "checkpoint.delta"
+	// commitFile is the atomically renamed commit record.
+	commitFile = "checkpoint.commit"
+	// deltaMagic starts every delta block.
+	deltaMagic = "SNDTBLDL"
+)
+
+// commitRecord is the JSON content of checkpoint.commit.
+type commitRecord struct {
+	Version int `json:"version"`
+	// BaseCRC is the trailing CRC of the checkpoint.snap the chain extends.
+	BaseCRC uint32 `json:"base_crc"`
+	// DeltaBytes is the number of valid bytes of checkpoint.delta.
+	DeltaBytes int64 `json:"delta_bytes"`
+	// Deltas is the number of blocks within DeltaBytes.
+	Deltas int `json:"deltas"`
+	// Depth is the BFS depth the chain's last block checkpoints.
+	Depth int `json:"depth"`
+}
+
+// deltaBlock is one decoded block of the delta log.
+type deltaBlock struct {
+	header snapshotHeader
+	fps    []uint64
+	recs   []deltaRec
+}
+
+// deltaRec is one fpset record carried by a delta block.
+type deltaRec struct {
+	fp, parent uint64
+	depth      int32
+}
+
+// appendDelta builds and appends one delta block covering (prevDepth,
+// depth], starting at byte offset committed of the delta log, and publishes
+// it with a commit record. Returns the block's byte length. On error the
+// previously committed chain is untouched (a partial append beyond the
+// committed length is overwritten by the next attempt and truncated by
+// recovery).
+func (ck *checkpointer) appendDelta(c *Checker, res *Result, depth int, fps []uint64, elapsed time.Duration) (int64, error) {
+	hdr := buildHeader(ck.opts, c, res, depth, elapsed)
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return 0, err
+	}
+	var payload bytes.Buffer
+	var scratch [20]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(hb)))
+	payload.Write(scratch[:4])
+	payload.Write(hb)
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(fps)))
+	payload.Write(scratch[:8])
+	for _, f := range fps {
+		binary.LittleEndian.PutUint64(scratch[:8], f)
+		payload.Write(scratch[:8])
+	}
+	var recs bytes.Buffer
+	count := uint64(0)
+	rerr := c.visited.RangeNewer(int32(ck.lastDepth), func(fp uint64, e fpset.Edge) bool {
+		binary.LittleEndian.PutUint64(scratch[0:8], fp)
+		binary.LittleEndian.PutUint64(scratch[8:16], e.Parent)
+		binary.LittleEndian.PutUint32(scratch[16:20], uint32(e.Depth))
+		recs.Write(scratch[:20])
+		count++
+		return true
+	})
+	if rerr != nil {
+		return 0, fmt.Errorf("delta records: %w", rerr)
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], count)
+	payload.Write(scratch[:8])
+	payload.Write(recs.Bytes())
+
+	f, err := os.OpenFile(filepath.Join(ck.opts.Dir, deltaFile), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(ck.deltaBytes, io.SeekStart); err != nil {
+		return 0, err
+	}
+	w := ckWriterWrap(f)
+	var head [16]byte
+	copy(head[:8], deltaMagic)
+	binary.LittleEndian.PutUint32(head[8:12], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(head[12:16], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(head[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	blockLen := int64(16 + payload.Len())
+	rec := commitRecord{
+		Version:    snapVersion,
+		BaseCRC:    ck.baseCRC,
+		DeltaBytes: ck.deltaBytes + blockLen,
+		Deltas:     ck.deltaCount + 1,
+		Depth:      depth,
+	}
+	if err := writeCommit(ck.opts.Dir, rec); err != nil {
+		return 0, err
+	}
+	return blockLen, nil
+}
+
+// writeCommit publishes a commit record atomically (temp + fsync + rename),
+// then best-effort fsyncs the directory so the rename itself is durable.
+func writeCommit(dir string, rec commitRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "commit-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op after successful rename
+	}()
+	if _, err := ckWriterWrap(tmp).Write(b); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, commitFile)); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// loadDeltaChain reads and validates the committed delta chain for a base
+// snapshot with the given CRC. It returns the decoded blocks in append
+// order, or nil when there is no (usable) chain: no commit record, or a
+// chain written against a different base (stale after a crashed
+// compaction). A torn tail beyond the committed length is truncated so
+// later appends start clean; committed bytes that fail validation are an
+// error (resume fails loudly rather than silently losing progress).
+func loadDeltaChain(dir string, baseCRC uint32) ([]deltaBlock, *commitRecord, error) {
+	commitPath := filepath.Join(dir, commitFile)
+	deltaPath := filepath.Join(dir, deltaFile)
+	cb, err := os.ReadFile(commitPath)
+	if os.IsNotExist(err) {
+		// No commit: any delta bytes on disk are uncommitted scratch.
+		os.Remove(deltaPath)
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var rec commitRecord
+	if err := json.Unmarshal(cb, &rec); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", commitPath, err)
+	}
+	if rec.Version != snapVersion {
+		return nil, nil, fmt.Errorf("%s: version %d, this build reads %d", commitPath, rec.Version, snapVersion)
+	}
+	if rec.BaseCRC != baseCRC {
+		// Chain belongs to an older base: a compaction replaced the base
+		// (which supersedes these deltas) and crashed before clearing the
+		// chain. Safe to discard.
+		os.Remove(commitPath)
+		os.Remove(deltaPath)
+		return nil, nil, nil
+	}
+	raw, err := os.ReadFile(deltaPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s names %d delta bytes: %w", commitPath, rec.DeltaBytes, err)
+	}
+	if int64(len(raw)) < rec.DeltaBytes {
+		return nil, nil, fmt.Errorf("%s: committed %d bytes but log holds %d (delta log corrupt)", deltaPath, rec.DeltaBytes, len(raw))
+	}
+	if int64(len(raw)) > rec.DeltaBytes {
+		// Torn tail from an append that crashed before committing.
+		if err := os.Truncate(deltaPath, rec.DeltaBytes); err != nil {
+			return nil, nil, fmt.Errorf("%s: truncating torn tail: %w", deltaPath, err)
+		}
+		raw = raw[:rec.DeltaBytes]
+	}
+	var blocks []deltaBlock
+	for len(raw) > 0 {
+		if len(raw) < 16 || string(raw[:8]) != deltaMagic {
+			return nil, nil, fmt.Errorf("%s: bad delta block magic at offset %d", deltaPath, rec.DeltaBytes-int64(len(raw)))
+		}
+		plen := int(binary.LittleEndian.Uint32(raw[8:12]))
+		want := binary.LittleEndian.Uint32(raw[12:16])
+		if len(raw) < 16+plen {
+			return nil, nil, fmt.Errorf("%s: truncated committed delta block", deltaPath)
+		}
+		payload := raw[16 : 16+plen]
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, nil, fmt.Errorf("%s: delta block checksum mismatch (log corrupt)", deltaPath)
+		}
+		blk, err := parseDeltaPayload(payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", deltaPath, err)
+		}
+		blocks = append(blocks, blk)
+		raw = raw[16+plen:]
+	}
+	if len(blocks) != rec.Deltas {
+		return nil, nil, fmt.Errorf("%s: %d blocks committed, %d found", deltaPath, rec.Deltas, len(blocks))
+	}
+	return blocks, &rec, nil
+}
+
+func parseDeltaPayload(p []byte) (deltaBlock, error) {
+	var blk deltaBlock
+	if len(p) < 4 {
+		return blk, fmt.Errorf("truncated delta header")
+	}
+	hlen := int(binary.LittleEndian.Uint32(p[:4]))
+	p = p[4:]
+	if len(p) < hlen {
+		return blk, fmt.Errorf("truncated delta header")
+	}
+	if err := json.Unmarshal(p[:hlen], &blk.header); err != nil {
+		return blk, fmt.Errorf("delta header: %w", err)
+	}
+	p = p[hlen:]
+	if len(p) < 8 {
+		return blk, fmt.Errorf("truncated delta frontier")
+	}
+	fcount := binary.LittleEndian.Uint64(p[:8])
+	p = p[8:]
+	if uint64(len(p)) < 8*fcount {
+		return blk, fmt.Errorf("truncated delta frontier")
+	}
+	blk.fps = make([]uint64, 0, fcount)
+	for i := uint64(0); i < fcount; i++ {
+		blk.fps = append(blk.fps, binary.LittleEndian.Uint64(p[:8]))
+		p = p[8:]
+	}
+	if len(p) < 8 {
+		return blk, fmt.Errorf("truncated delta records")
+	}
+	rcount := binary.LittleEndian.Uint64(p[:8])
+	p = p[8:]
+	if uint64(len(p)) != 20*rcount {
+		return blk, fmt.Errorf("delta records: %d bytes for %d records", len(p), rcount)
+	}
+	blk.recs = make([]deltaRec, 0, rcount)
+	for i := uint64(0); i < rcount; i++ {
+		blk.recs = append(blk.recs, deltaRec{
+			fp:     binary.LittleEndian.Uint64(p[0:8]),
+			parent: binary.LittleEndian.Uint64(p[8:16]),
+			depth:  int32(binary.LittleEndian.Uint32(p[16:20])),
+		})
+		p = p[20:]
+	}
+	return blk, nil
+}

@@ -77,6 +77,20 @@ type Options struct {
 	// modeling-stage findings such as "no leader is ever elected").
 	Goal func(s spec.State) bool
 
+	// MemBudget, when > 0, caps the estimated resident footprint (bytes) of
+	// the exploration's two big structures. Over budget, the fingerprint
+	// set spills frozen entries to sorted disk runs (any machine), and the
+	// BFS frontier spills to disk runs when the machine implements
+	// spec.StateCodec (without the codec only the fingerprint set spills).
+	// Results are identical to an unbudgeted run — see frontier.go and
+	// fpset/spill.go for the determinism argument. The CLI exposes this as
+	// -mem-budget and defaults it from GOMEMLIMIT.
+	MemBudget int64
+	// SpillDir is where spill files live; a fresh private subdirectory is
+	// created per run and removed when the run ends. Empty falls back to
+	// the checkpoint dir, then the OS temp dir.
+	SpillDir string
+
 	// Checkpoint configures periodic exploration snapshots and resume; the
 	// zero value disables both. See CheckpointOptions.
 	Checkpoint CheckpointOptions
@@ -152,7 +166,8 @@ type Result struct {
 	// Exhausted is true when the bounded state space was fully explored.
 	Exhausted bool
 	// StopReason explains why the run ended ("exhausted", "violation",
-	// "max-states", "deadline", "max-depth", "checkpoint-error").
+	// "max-states", "deadline", "max-depth", "checkpoint-error",
+	// "spill-error" — a disk failure reading back a spilled frontier).
 	StopReason string
 	// Resumed reports whether the run continued from a snapshot.
 	Resumed bool
@@ -218,6 +233,9 @@ type Checker struct {
 
 	// restored carries state loaded from a snapshot (nil for fresh runs).
 	restored *snapshot
+	// ckChain carries the committed checkpoint chain a resume loaded, so
+	// the run's checkpointer keeps appending deltas to it.
+	ckChain *ckChainState
 }
 
 // NewChecker builds a checker for machine m.
@@ -305,7 +323,15 @@ type frontierEntry struct {
 type runMetrics struct {
 	distinct, transitions, dedup, queueLen, maxQueueLen, depth *obs.Gauge
 	fpsetEntries, fpsetSlots, fpsetProbes, fpsetResizes        *obs.Gauge
-	checkpoints                                                *obs.Counter
+	// Memory-pressure gauges/counters (see memory.go): fpset spill state,
+	// frontier spill volume, heap-in-use, and the configured budget.
+	fpsetSpilledEntries, fpsetSpilledShards, fpsetSpillRuns *obs.Gauge
+	fpsetSpillBytes, fpsetDiskProbes                        *obs.Gauge
+	heapInuse, memBudget                                    *obs.Gauge
+	frontierSpillBytes, frontierSpilledEntries              *obs.Counter
+	// Checkpoint-chain counters (see delta.go): full snapshots are counted
+	// by checkpoints, incremental deltas and compactions separately.
+	checkpoints, ckDeltas, ckDeltaBytes, ckCompactions, ckErrors *obs.Counter
 }
 
 func newRunMetrics(reg *obs.Registry) *runMetrics {
@@ -313,17 +339,30 @@ func newRunMetrics(reg *obs.Registry) *runMetrics {
 		return nil
 	}
 	return &runMetrics{
-		distinct:     reg.Gauge("distinct_states"),
-		transitions:  reg.Gauge("transitions"),
-		dedup:        reg.Gauge("dedup_hits"),
-		queueLen:     reg.Gauge("queue_len"),
-		maxQueueLen:  reg.Gauge("max_queue_len"),
-		depth:        reg.Gauge("depth"),
-		fpsetEntries: reg.Gauge("fpset.entries"),
-		fpsetSlots:   reg.Gauge("fpset.slots"),
-		fpsetProbes:  reg.Gauge("fpset.probes"),
-		fpsetResizes: reg.Gauge("fpset.resizes"),
-		checkpoints:  reg.Counter("checkpoints"),
+		distinct:               reg.Gauge("distinct_states"),
+		transitions:            reg.Gauge("transitions"),
+		dedup:                  reg.Gauge("dedup_hits"),
+		queueLen:               reg.Gauge("queue_len"),
+		maxQueueLen:            reg.Gauge("max_queue_len"),
+		depth:                  reg.Gauge("depth"),
+		fpsetEntries:           reg.Gauge("fpset.entries"),
+		fpsetSlots:             reg.Gauge("fpset.slots"),
+		fpsetProbes:            reg.Gauge("fpset.probes"),
+		fpsetResizes:           reg.Gauge("fpset.resizes"),
+		fpsetSpilledEntries:    reg.Gauge("fpset.spilled_entries"),
+		fpsetSpilledShards:     reg.Gauge("fpset.spilled_shards"),
+		fpsetSpillRuns:         reg.Gauge("fpset.spill_runs"),
+		fpsetSpillBytes:        reg.Gauge("fpset.spill_bytes"),
+		fpsetDiskProbes:        reg.Gauge("fpset.disk_probes"),
+		heapInuse:              reg.Gauge("heap_inuse_bytes"),
+		memBudget:              reg.Gauge("mem_budget_bytes"),
+		frontierSpillBytes:     reg.Counter("explorer.frontier_spill_bytes"),
+		frontierSpilledEntries: reg.Counter("explorer.frontier_spilled_entries"),
+		checkpoints:            reg.Counter("checkpoints"),
+		ckDeltas:               reg.Counter("checkpoint.deltas"),
+		ckDeltaBytes:           reg.Counter("checkpoint.delta_bytes"),
+		ckCompactions:          reg.Counter("checkpoint.compactions"),
+		ckErrors:               reg.Counter("checkpoint.errors"),
 	}
 }
 
@@ -342,6 +381,11 @@ func (m *runMetrics) publish(res *Result, queueLen, depth int, set *fpset.Set) {
 	m.fpsetSlots.Set(st.Slots)
 	m.fpsetProbes.Set(st.Probes)
 	m.fpsetResizes.Set(st.Resizes)
+	m.fpsetSpilledEntries.Set(st.SpilledEntries)
+	m.fpsetSpilledShards.Set(st.SpilledShards)
+	m.fpsetSpillRuns.Set(st.SpillRuns)
+	m.fpsetSpillBytes.Set(st.SpillBytes)
+	m.fpsetDiskProbes.Set(st.DiskProbes)
 }
 
 // newReporter builds the progress reporter for a run (nil Progress → a
@@ -368,7 +412,6 @@ func (c *Checker) Run() *Result {
 	}
 	reporter := c.opts.newReporter()
 	metrics := newRunMetrics(c.opts.Metrics)
-	ck := c.newCheckpointer(metrics)
 
 	invs := c.m.Invariants()
 	var frontier []frontierEntry
@@ -382,6 +425,9 @@ func (c *Checker) Run() *Result {
 			return res
 		}
 	}
+	// Built after resume so it can adopt the restored delta chain and keep
+	// appending to it instead of rewriting a full base snapshot.
+	ck := c.newCheckpointer(metrics, reporter)
 
 	if c.opts.Cover {
 		res.Cover = obs.NewCover("bfs", spec.DeclaredActions(c.m))
@@ -449,12 +495,27 @@ func (c *Checker) Run() *Result {
 	// not spawned onto fresh goroutines.
 	pool := c.newExpandPool(workers, invs)
 	defer pool.close()
+
+	// The memory controller (nil without a budget) owns the run's spill
+	// directory; closed after trace reconstruction, which may still probe
+	// spilled fingerprints.
+	memctl, err := c.newMemController(metrics, reporter)
+	if err != nil {
+		res.Err = fmt.Errorf("mem-budget: %w", err)
+		res.StopReason = "spill-error"
+		return res
+	}
+	defer memctl.close(c.visited)
+
 	// spare recycles the previous level's frontier backing as the next
 	// level's accumulation buffer (double buffering): after warm-up, level
-	// turnover allocates nothing.
+	// turnover allocates nothing. (Levels that spill to disk opt out of the
+	// recycling; they are dominated by I/O anyway.)
 	var spare []frontierEntry
+	lf := newMemFrontier(frontier)
+	frontier = nil
 
-	for len(frontier) > 0 {
+	for lf.size() > 0 {
 		if c.opts.StopAtFirstViolation && len(res.Violations) > 0 {
 			stop = "violation"
 			break
@@ -482,7 +543,7 @@ func (c *Checker) Run() *Result {
 			baseTrans, baseDedup = res.Transitions, res.DedupHits
 			baseProbes = c.visited.Stats().Probes
 			baseCk = res.Checkpoints
-			expanded = len(frontier)
+			expanded = lf.size()
 		}
 
 		// Expand the level in bounded blocks so memory holds at most one
@@ -494,19 +555,27 @@ func (c *Checker) Run() *Result {
 		const block = 1 << 14
 		next := spare[:0]
 		var levelViolations []*Violation
-		partialLevel := false
-		for lo := 0; lo < len(frontier); lo += block {
-			hi := min(lo+block, len(frontier))
-			pool.expand(frontier[lo:hi], depth)
+		sink := memctl.newSink(depth)
+		consumed := 0
+		stopLevel := false
+
+		// processBlock expands one frontier block and does the boundary
+		// bookkeeping: drain, spill checks, queue-length high-water,
+		// metrics/progress publication, and the mid-level stop decisions.
+		// Identical for in-RAM and disk-backed levels, so the stop
+		// decisions cannot depend on where the frontier lives.
+		processBlock := func(entries []frontierEntry) bool {
+			pool.expand(entries, depth)
 			// The block's states are fully expanded: release them so the
 			// peak footprint is one level plus one block, not two levels.
-			for k := lo; k < hi; k++ {
-				frontier[k].state = nil
+			for k := range entries {
+				entries[k].state = nil
 			}
 			pool.drainInto(res, &next, &levelViolations)
-			// Block boundary: cheap queue-length bookkeeping and (when
-			// configured) progress/metrics publication. Never per state.
-			queueLen := (len(frontier) - hi) + len(next)
+			consumed += len(entries)
+			next = sink.maybeSpill(next)
+			memctl.blockTick(c, depth)
+			queueLen := (lf.size() - consumed) + sink.spilledCount() + len(next)
 			if queueLen > res.MaxQueueLen {
 				res.MaxQueueLen = queueLen
 			}
@@ -519,18 +588,54 @@ func (c *Checker) Run() *Result {
 				Depth:          depth,
 			})
 			if c.opts.StopAtFirstViolation && len(levelViolations) > 0 {
-				partialLevel = hi < len(frontier)
-				break
+				return true
 			}
 			if c.opts.MaxStates > 0 && res.DistinctStates >= c.opts.MaxStates {
-				partialLevel = hi < len(frontier)
-				break
+				return true
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
-				partialLevel = hi < len(frontier)
+				return true
+			}
+			return false
+		}
+
+		if lf.inRAM() {
+			mem := lf.mem
+			for lo := 0; lo < len(mem); lo += block {
+				hi := min(lo+block, len(mem))
+				if stopLevel = processBlock(mem[lo:hi]); stopLevel {
+					break
+				}
+			}
+		} else {
+			// Disk-backed level: merge-read the sorted runs (plus the
+			// in-RAM tail) back in global fingerprint order, one block at
+			// a time — exactly the sequence the in-RAM path would expand.
+			var rerr error
+			var cur *frontierCursor
+			if cur, rerr = lf.cursor(); rerr == nil {
+				buf := make([]frontierEntry, 0, block)
+				for {
+					if buf, rerr = cur.nextBlock(buf[:0], block); rerr != nil || len(buf) == 0 {
+						break
+					}
+					if stopLevel = processBlock(buf); stopLevel {
+						break
+					}
+				}
+				cur.close()
+			}
+			if rerr != nil {
+				sortViolations(levelViolations)
+				res.Violations = append(res.Violations, levelViolations...)
+				res.Err = fmt.Errorf("frontier spill: %w", rerr)
+				stop = "spill-error"
+				lf.discard()
 				break
 			}
 		}
+		partialLevel := stopLevel && consumed < lf.size()
+
 		// Violations within a level are ordered by state fingerprint so the
 		// reported counterexample does not depend on scheduling.
 		sortViolations(levelViolations)
@@ -538,10 +643,16 @@ func (c *Checker) Run() *Result {
 		// The next frontier is sorted by fingerprint: with a deterministic
 		// level order, block composition — and therefore every block-level
 		// stop decision above — is identical across runs and worker counts.
+		// (A spilled level merge-reads back in the same sorted order.)
 		sortFrontier(next)
-		spare = frontier[:0]
-		frontier = next
-		if len(frontier) > 0 {
+		if lf.inRAM() {
+			spare = lf.mem[:0]
+		} else {
+			spare = nil
+			lf.discard()
+		}
+		lf = sink.finish(next)
+		if lf.size() > 0 {
 			res.MaxDepth = depth
 		}
 		c.opts.Tracer.Emit(obs.Event{
@@ -549,7 +660,7 @@ func (c *Checker) Run() *Result {
 			Detail: map[string]string{
 				"depth":       strconv.Itoa(depth),
 				"distinct":    strconv.Itoa(res.DistinctStates),
-				"queue":       strconv.Itoa(len(frontier)),
+				"queue":       strconv.Itoa(lf.size()),
 				"transitions": strconv.FormatInt(res.Transitions, 10),
 				"dedup_hits":  strconv.FormatInt(res.DedupHits, 10),
 			},
@@ -559,14 +670,14 @@ func (c *Checker) Run() *Result {
 		// A level cut short by a mid-level stop (max-states, deadline) is
 		// never snapshotted: its frontier is incomplete, and the run is
 		// ending anyway. The previous complete-level snapshot stays valid.
-		if ck != nil && !partialLevel && len(frontier) > 0 && (len(res.Violations) == 0 || !c.opts.StopAtFirstViolation) {
-			ck.maybeWrite(c, res, depth, frontier, restoredElapsed+time.Since(start))
+		if ck != nil && !partialLevel && lf.size() > 0 && (len(res.Violations) == 0 || !c.opts.StopAtFirstViolation) {
+			ck.maybeWrite(c, res, depth, lf, restoredElapsed+time.Since(start))
 		}
 		if c.cover != nil {
 			c.cover.Levels = append(c.cover.Levels, obs.LevelStats{
 				Depth:       depth,
 				Frontier:    expanded,
-				Fresh:       len(frontier),
+				Fresh:       lf.size(),
 				Transitions: res.Transitions - baseTrans,
 				Dedup:       res.DedupHits - baseDedup,
 				Violations:  len(levelViolations),
@@ -587,11 +698,11 @@ func (c *Checker) Run() *Result {
 	res.StopReason = stop
 	res.Duration = restoredElapsed + time.Since(start)
 
-	metrics.publish(res, len(frontier), depth, c.visited)
+	metrics.publish(res, lf.size(), depth, c.visited)
 	if c.opts.Progress != nil {
 		reporter.Emit(obs.Progress{
 			DistinctStates: res.DistinctStates,
-			QueueLen:       len(frontier),
+			QueueLen:       lf.size(),
 			Transitions:    res.Transitions,
 			DedupHits:      res.DedupHits,
 			Depth:          depth,

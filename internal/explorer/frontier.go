@@ -1,0 +1,309 @@
+package explorer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// Out-of-core BFS frontiers. The level-synchronous search reads one frontier
+// sequentially while appending the next, so both sides map naturally onto
+// disk: under a memory budget the accumulating side flushes sorted runs of
+// (fingerprint, encoded state) records, and the consuming side merge-reads
+// those runs back as expansion blocks. A k-way merge of sorted unique runs
+// reproduces exactly the globally fingerprint-sorted level sequence the
+// in-RAM path produces, so block composition — and with it every block-level
+// stop decision and the final result — is identical whether or not a level
+// spilled, at every worker count.
+//
+// Frontier spilling needs states to round-trip through bytes, so it is only
+// available on machines implementing spec.StateCodec; the fingerprint set
+// (which dominates long runs) spills regardless.
+
+// levelFrontier is one BFS level awaiting expansion: a sorted in-RAM tail
+// plus zero or more sorted disk runs.
+type levelFrontier struct {
+	mem   []frontierEntry
+	runs  []*frontierRun
+	codec spec.StateCodec
+	total int
+}
+
+// newMemFrontier wraps a fully in-RAM (sorted) level.
+func newMemFrontier(entries []frontierEntry) *levelFrontier {
+	return &levelFrontier{mem: entries, total: len(entries)}
+}
+
+// size is the number of states in the level.
+func (lf *levelFrontier) size() int { return lf.total }
+
+// inRAM reports whether the whole level is resident.
+func (lf *levelFrontier) inRAM() bool { return len(lf.runs) == 0 }
+
+// discard deletes the level's spill files (no-op for in-RAM levels).
+func (lf *levelFrontier) discard() {
+	for _, r := range lf.runs {
+		os.Remove(r.path)
+	}
+	lf.runs = nil
+}
+
+// fps appends every fingerprint in the level to dst — the checkpoint
+// writer's view of the frontier. Disk runs are streamed without decoding
+// states.
+func (lf *levelFrontier) fps(dst []uint64) ([]uint64, error) {
+	for _, fe := range lf.mem {
+		dst = append(dst, fe.fp)
+	}
+	for _, r := range lf.runs {
+		var err error
+		if dst, err = r.appendFPs(dst); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// frontierRun is one immutable sorted spill run of a level. Record layout:
+// fp[u64] encLen[u32] encoded-state bytes. Runs are session scratch —
+// recreated by replay after a crash, never recovered.
+type frontierRun struct {
+	path  string
+	count int
+	bytes int64
+}
+
+// writeFrontierRun writes sorted entries as a new run file.
+func writeFrontierRun(path string, entries []frontierEntry, codec spec.StateCodec) (*frontierRun, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var hdr [12]byte
+	var enc []byte
+	total := int64(0)
+	for _, fe := range entries {
+		enc = codec.AppendState(enc[:0], fe.state)
+		binary.LittleEndian.PutUint64(hdr[0:8], fe.fp)
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(enc)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+		if _, err := bw.Write(enc); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+		total += 12 + int64(len(enc))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return &frontierRun{path: path, count: len(entries), bytes: total}, nil
+}
+
+// appendFPs streams only the fingerprints of a run.
+func (r *frontierRun) appendFPs(dst []uint64) ([]uint64, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr [12]byte
+	for i := 0; i < r.count; i++ {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("frontier run %s: %w", r.path, err)
+		}
+		dst = append(dst, binary.LittleEndian.Uint64(hdr[0:8]))
+		if _, err := br.Discard(int(binary.LittleEndian.Uint32(hdr[8:12]))); err != nil {
+			return nil, fmt.Errorf("frontier run %s: %w", r.path, err)
+		}
+	}
+	return dst, nil
+}
+
+// frontierCursor merge-reads a spilled level back in global fingerprint
+// order, one expansion block at a time.
+type frontierCursor struct {
+	srcs []*frontierRunReader
+	mem  []frontierEntry
+	mi   int
+}
+
+// cursor opens the level for merged sequential reading. Callers must close
+// it. In-RAM levels do not need a cursor (iterate lf.mem directly).
+func (lf *levelFrontier) cursor() (*frontierCursor, error) {
+	c := &frontierCursor{mem: lf.mem}
+	for _, r := range lf.runs {
+		rd, err := newFrontierRunReader(r, lf.codec)
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		c.srcs = append(c.srcs, rd)
+	}
+	return c, nil
+}
+
+func (c *frontierCursor) close() {
+	for _, rd := range c.srcs {
+		rd.close()
+	}
+}
+
+// nextBlock fills buf with up to n entries in global fingerprint order; an
+// empty result means the level is exhausted.
+func (c *frontierCursor) nextBlock(buf []frontierEntry, n int) ([]frontierEntry, error) {
+	for len(buf) < n {
+		best := -1
+		var bestFP uint64
+		for i, rd := range c.srcs {
+			if rd.ok && (best == -1 || rd.cur.fp < bestFP) {
+				best = i
+				bestFP = rd.cur.fp
+			}
+		}
+		if c.mi < len(c.mem) && (best == -1 || c.mem[c.mi].fp < bestFP) {
+			buf = append(buf, c.mem[c.mi])
+			c.mi++
+			continue
+		}
+		if best == -1 {
+			break
+		}
+		buf = append(buf, c.srcs[best].cur)
+		if err := c.srcs[best].advance(); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+// frontierRunReader streams one run, decoding states as it goes.
+type frontierRunReader struct {
+	f     *os.File
+	br    *bufio.Reader
+	codec spec.StateCodec
+	left  int
+	enc   []byte
+	cur   frontierEntry
+	ok    bool
+}
+
+func newFrontierRunReader(r *frontierRun, codec spec.StateCodec) (*frontierRunReader, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, err
+	}
+	rd := &frontierRunReader{f: f, br: bufio.NewReaderSize(f, 1<<16), codec: codec, left: r.count}
+	if err := rd.advance(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return rd, nil
+}
+
+func (rd *frontierRunReader) close() { rd.f.Close() }
+
+func (rd *frontierRunReader) advance() error {
+	if rd.left == 0 {
+		rd.ok = false
+		return nil
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(rd.br, hdr[:]); err != nil {
+		return fmt.Errorf("frontier run: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if cap(rd.enc) < n {
+		rd.enc = make([]byte, n)
+	}
+	rd.enc = rd.enc[:n]
+	if _, err := io.ReadFull(rd.br, rd.enc); err != nil {
+		return fmt.Errorf("frontier run: %w", err)
+	}
+	st, _, err := rd.codec.DecodeState(rd.enc)
+	if err != nil {
+		return fmt.Errorf("frontier run decode: %w", err)
+	}
+	rd.left--
+	rd.cur = frontierEntry{state: st, fp: binary.LittleEndian.Uint64(hdr[0:8])}
+	rd.ok = true
+	return nil
+}
+
+// frontierSink accumulates the next level under a memory budget, flushing
+// the in-RAM buffer to a sorted run whenever it crosses the spill threshold.
+// All methods are nil-receiver-safe (a nil sink is the unbudgeted path).
+type frontierSink struct {
+	mc      *memController
+	depth   int
+	runs    []*frontierRun
+	spilled int
+}
+
+// maybeSpill flushes next to disk when it has outgrown the spill threshold,
+// returning the (possibly emptied) buffer. A write failure degrades
+// gracefully: the level stays in RAM and frontier spilling is disabled for
+// the rest of the run with a warning.
+func (sk *frontierSink) maybeSpill(next []frontierEntry) []frontierEntry {
+	if sk == nil {
+		return next
+	}
+	mc := sk.mc
+	if mc.frontierChunk == 0 || len(next) < mc.frontierChunk {
+		return next
+	}
+	sortFrontier(next)
+	mc.frontierSeq++
+	path := filepath.Join(mc.dir, fmt.Sprintf("frontier-%06d.run", mc.frontierSeq))
+	run, err := writeFrontierRun(path, next, mc.codec)
+	if err != nil {
+		mc.frontierChunk = 0
+		mc.warnf("frontier spill failed, keeping level in RAM: %v", err)
+		return next
+	}
+	sk.runs = append(sk.runs, run)
+	sk.spilled += run.count
+	if m := mc.m; m != nil {
+		m.frontierSpillBytes.Add(run.bytes)
+		m.frontierSpilledEntries.Add(int64(run.count))
+	}
+	for i := range next {
+		next[i].state = nil
+	}
+	return next[:0]
+}
+
+// spilledCount is the number of next-level states already on disk.
+func (sk *frontierSink) spilledCount() int {
+	if sk == nil {
+		return 0
+	}
+	return sk.spilled
+}
+
+// finish seals the level: the sorted in-RAM remainder plus any spilled runs
+// become the next levelFrontier.
+func (sk *frontierSink) finish(next []frontierEntry) *levelFrontier {
+	if sk == nil || len(sk.runs) == 0 {
+		return newMemFrontier(next)
+	}
+	lf := &levelFrontier{mem: next, runs: sk.runs, codec: sk.mc.codec, total: len(next) + sk.spilled}
+	return lf
+}

@@ -71,6 +71,10 @@ const (
 type Set struct {
 	shards []shard
 	mask   uint64 // len(shards)-1
+	// spill is the optional out-of-core controller (see spill.go); nil
+	// until EnableSpill. When non-nil, entries live either in the shard
+	// tables or in one sorted disk run, never both.
+	spill *spillState
 }
 
 // shard is one independently locked open-addressing table.
@@ -105,10 +109,31 @@ type Stats struct {
 	Slots int64
 	// Probes is the cumulative number of probe steps performed by Insert
 	// and Lookup (a measure of clustering; Probes/Entries ≈ mean probe
-	// sequence length).
+	// sequence length). Counts in-RAM probes only; disk probes are
+	// reported separately in DiskProbes.
 	Probes int64
 	// Resizes counts shard growth events.
 	Resizes int64
+	// SpilledEntries is the number of entries currently living in on-disk
+	// runs (0 unless EnableSpill was called and a spill occurred).
+	SpilledEntries int64
+	// SpilledShards is the cumulative count of shard-spill events: one per
+	// shard that contributed at least one entry to a spill.
+	SpilledShards int64
+	// SpillEvents counts SpillFrozen calls that moved entries to disk.
+	SpillEvents int64
+	// SpillRuns is the current on-disk run count.
+	SpillRuns int64
+	// SpillBytes is the cumulative byte volume written to spill runs
+	// (merge rewrites excluded).
+	SpillBytes int64
+	// SpillMerges counts run-compaction merges.
+	SpillMerges int64
+	// DiskProbes counts disk block reads performed by the probe path
+	// (bloom-filter rejections never reach the disk and are not counted).
+	DiskProbes int64
+	// DiskHits counts disk probes that found the fingerprint.
+	DiskHits int64
 }
 
 // DefaultShards picks a shard count for the current machine: the smallest
@@ -174,6 +199,14 @@ func slotFor(key uint64, capacity int) int {
 // the parent (the deterministic tie-break documented on the package).
 func (s *Set) Insert(fp, parent uint64, depth int32) bool {
 	key := norm(fp)
+	if sp := s.spill; sp != nil {
+		// Spilled entries are frozen at a strictly smaller depth, so a
+		// disk hit is always a pure dedup hit — no tie-break can apply
+		// (see spill.go). The check is lock-free.
+		if _, ok := sp.lookup(key); ok {
+			return false
+		}
+	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	i := slotFor(key, len(sh.keys))
@@ -231,9 +264,21 @@ func (sh *shard) rehash() {
 	sh.resizes++
 }
 
-// Lookup returns the edge recorded for fp and whether it is present.
+// Lookup returns the edge recorded for fp and whether it is present,
+// checking spilled disk runs after a RAM miss.
 func (s *Set) Lookup(fp uint64) (Edge, bool) {
 	key := norm(fp)
+	if e, ok := s.lookupRAM(key); ok {
+		return e, true
+	}
+	if sp := s.spill; sp != nil {
+		return sp.lookup(key)
+	}
+	return Edge{}, false
+}
+
+// lookupRAM probes only the in-RAM shard tables.
+func (s *Set) lookupRAM(key uint64) (Edge, bool) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	i := slotFor(key, len(sh.keys))
@@ -262,7 +307,8 @@ func (s *Set) Contains(fp uint64) bool {
 	return ok
 }
 
-// Len returns the number of distinct fingerprints stored.
+// Len returns the number of distinct fingerprints stored, including entries
+// spilled to disk.
 func (s *Set) Len() int64 {
 	var n int64
 	for i := range s.shards {
@@ -270,6 +316,9 @@ func (s *Set) Len() int64 {
 		sh.mu.Lock()
 		n += int64(sh.n)
 		sh.mu.Unlock()
+	}
+	if sp := s.spill; sp != nil {
+		n += sp.spilledEntries.Load()
 	}
 	return n
 }
@@ -287,15 +336,34 @@ func (s *Set) Stats() Stats {
 		st.Resizes += sh.resizes
 		sh.mu.Unlock()
 	}
+	if sp := s.spill; sp != nil {
+		st.Entries += sp.spilledEntries.Load()
+		st.SpilledEntries = sp.spilledEntries.Load()
+		st.SpilledShards = sp.shardSpills
+		st.SpillEvents = sp.spillEvents
+		st.SpillRuns = int64(len(*sp.runs.Load()))
+		st.SpillBytes = sp.spillBytes.Load()
+		st.SpillMerges = sp.merges
+		st.DiskProbes = sp.diskProbes.Load()
+		st.DiskHits = sp.diskHits.Load()
+	}
 	return st
 }
 
 // Range calls fn for every stored (fingerprint, edge) pair until fn returns
-// false. The iteration order is unspecified. Range locks one shard at a
-// time; entries inserted concurrently may or may not be visited. The
-// fingerprint passed to fn is the stored key (fingerprint 0 is reported as
-// its alias, consistent with Lookup semantics).
+// false, covering both the in-RAM tables and any spilled disk runs. The
+// iteration order is unspecified. Range locks one shard at a time; entries
+// inserted concurrently may or may not be visited, and a disk I/O error ends
+// the iteration early (use rangeAll inside the package where the error
+// matters). The fingerprint passed to fn is the stored key (fingerprint 0 is
+// reported as its alias, consistent with Lookup semantics).
 func (s *Set) Range(fn func(fp uint64, e Edge) bool) {
+	_ = s.rangeAll(fn)
+}
+
+// rangeAll is Range with disk errors surfaced; safepoint-only when the set
+// has spilled entries.
+func (s *Set) rangeAll(fn func(fp uint64, e Edge) bool) error {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -305,9 +373,27 @@ func (s *Set) Range(fn func(fp uint64, e Edge) bool) {
 			}
 			if !fn(k, sh.meta[j]) {
 				sh.mu.Unlock()
-				return
+				return nil
 			}
 		}
 		sh.mu.Unlock()
 	}
+	if sp := s.spill; sp != nil {
+		return sp.rangeSpilled(fn)
+	}
+	return nil
+}
+
+// RangeNewer calls fn for every stored entry with Depth > minDepth — the
+// entries discovered since the BFS level minDepth completed, which is
+// exactly the delta a checkpoint needs to append (edges at depth <= minDepth
+// are final once that level is done). Safepoint-only; returns the first disk
+// I/O error.
+func (s *Set) RangeNewer(minDepth int32, fn func(fp uint64, e Edge) bool) error {
+	return s.rangeAll(func(fp uint64, e Edge) bool {
+		if e.Depth <= minDepth {
+			return true
+		}
+		return fn(fp, e)
+	})
 }

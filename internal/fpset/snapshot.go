@@ -13,10 +13,10 @@ import (
 // the layout below never changes within a checkpoint version.
 const recordSize = 8 + 8 + 4
 
-// WriteTo serialises every entry to w. It locks one shard at a time, so the
-// caller must ensure no concurrent Insert (the explorer snapshots only at
-// level boundaries, where workers are quiesced). Returns the byte count
-// written.
+// WriteTo serialises every entry to w, including entries spilled to disk
+// runs. It locks one shard at a time, so the caller must ensure no
+// concurrent Insert (the explorer snapshots only at level boundaries, where
+// workers are quiesced). Returns the byte count written.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var buf [recordSize]byte
@@ -26,7 +26,7 @@ func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	}
 	written := int64(8)
 	var werr error
-	s.Range(func(fp uint64, e Edge) bool {
+	rerr := s.rangeAll(func(fp uint64, e Edge) bool {
 		binary.LittleEndian.PutUint64(buf[0:8], fp)
 		binary.LittleEndian.PutUint64(buf[8:16], e.Parent)
 		binary.LittleEndian.PutUint32(buf[16:20], uint32(e.Depth))
@@ -39,6 +39,9 @@ func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	})
 	if werr != nil {
 		return written, werr
+	}
+	if rerr != nil {
+		return written, rerr
 	}
 	return written, bw.Flush()
 }

@@ -1,0 +1,622 @@
+package fpset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Out-of-core support: when a memory budget is configured the set can move
+// "frozen" entries — fingerprints discovered at depths the BFS has already
+// completed — out of the in-RAM open-addressing tables into sorted on-disk
+// runs, the same discipline TLC uses for its fingerprint set.
+//
+// Why spilling frozen entries preserves determinism: the only mutation the
+// set ever applies to an existing entry is the equal-depth min-parent
+// tie-break in Insert, and a tie-break can only fire while the BFS is still
+// inserting at that entry's depth. Once level d is complete, every entry
+// with Depth <= d is immutable. Spilling exactly those entries means a disk
+// record never needs updating: any rediscovery of a spilled fingerprint
+// happens at a strictly greater depth and is a pure deduplication hit. The
+// final edge table (RAM ∪ disk) is therefore byte-identical to the
+// unspilled run's, at every worker count.
+//
+// An entry lives in exactly one place — the RAM tables or one disk run —
+// so the hot probe-and-insert path checks disk first (bloom filter, then a
+// sparse block index, then one ReadAt) without taking any shard lock, and
+// only then locks the shard for the RAM probe. Runs are only created,
+// merged, or scanned at explorer safepoints (block/level boundaries, with
+// expansion workers quiesced); concurrent Insert/Lookup see the run list
+// through an atomic pointer.
+
+// runMagic identifies a spill run file. Runs are session-private scratch —
+// they are recreated from checkpoints after a crash, never recovered — so
+// the format carries no version negotiation or trailing checksum.
+const runMagic = "SNDTBLR1"
+
+// runHeaderSize is the run file preamble: 8-byte magic + uint64 record count.
+const runHeaderSize = 16
+
+// indexEvery is the block-index granularity: one in-RAM index key per this
+// many on-disk records, so a point lookup reads one indexEvery-record block.
+const indexEvery = 256
+
+// defaultMaxRuns bounds the run list before a compacting merge; more runs
+// mean more bloom checks per probe, fewer mean more merge I/O.
+const defaultMaxRuns = 8
+
+// SpillConfig configures EnableSpill.
+type SpillConfig struct {
+	// Dir is the directory for run files; it is created if missing. The
+	// caller owns cleanup (runs are scratch, not checkpoints).
+	Dir string
+	// BudgetBytes is the in-RAM footprint (MemBytes) above which MaybeSpill
+	// flushes frozen entries to disk. <= 0 disables MaybeSpill; SpillFrozen
+	// still works for explicit calls.
+	BudgetBytes int64
+	// MaxRuns bounds the on-disk run count before runs are merged into one
+	// (<= 0 selects a default).
+	MaxRuns int
+}
+
+// spillState is the per-set spill controller. The runs pointer is the only
+// field touched by the concurrent probe path; everything else mutates at
+// safepoints only.
+type spillState struct {
+	dir     string
+	budget  int64
+	maxRuns int
+	runs    atomic.Pointer[[]*spillRun]
+	seq     int // run file name counter
+
+	spilledEntries atomic.Int64
+	spillBytes     atomic.Int64
+	diskProbes     atomic.Int64
+	diskHits       atomic.Int64
+	spillEvents    int64 // safepoint-only
+	shardSpills    int64 // safepoint-only
+	merges         int64 // safepoint-only
+}
+
+// spillRun is one immutable sorted run on disk.
+type spillRun struct {
+	f      *os.File
+	path   string
+	count  int64
+	bytes  int64
+	minKey uint64
+	maxKey uint64
+	index  []uint64 // first key of each indexEvery-record block
+	filter bloom
+}
+
+// record pairs a key with its edge while sorting a run.
+type record struct {
+	key uint64
+	e   Edge
+}
+
+// bloom is a fixed-size blocked-free bloom filter over run keys; it keeps
+// most absent-key probes off the disk entirely.
+type bloom struct {
+	words []uint64
+	mask  uint64 // bit-count-1 (bit count is a power of two)
+}
+
+func newBloom(n int64) bloom {
+	bits := int64(1 << 13)
+	for bits < n*10 {
+		bits <<= 1
+	}
+	return bloom{words: make([]uint64, bits/64), mask: uint64(bits - 1)}
+}
+
+// bloomHashes derives the two probe strides for a key. The second multiplier
+// is the 64-bit xxhash avalanche prime; |1 keeps the stride odd.
+func bloomHashes(key uint64) (h1, h2 uint64) {
+	return key * fibMix, key*0xC2B2AE3D27D4EB4F | 1
+}
+
+const bloomProbes = 4
+
+func (b bloom) add(key uint64) {
+	h1, h2 := bloomHashes(key)
+	for i := uint64(0); i < bloomProbes; i++ {
+		p := (h1 + i*h2) & b.mask
+		b.words[p>>6] |= 1 << (p & 63)
+	}
+}
+
+func (b bloom) mightContain(key uint64) bool {
+	h1, h2 := bloomHashes(key)
+	for i := uint64(0); i < bloomProbes; i++ {
+		p := (h1 + i*h2) & b.mask
+		if b.words[p>>6]&(1<<(p&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ramBytes is the in-RAM overhead a run keeps resident (index + bloom).
+func (r *spillRun) ramBytes() int64 {
+	return int64(len(r.index))*8 + int64(len(r.filter.words))*8
+}
+
+// EnableSpill attaches a spill controller to the set. It must be called
+// before the set is shared between goroutines; calling it twice or on a set
+// that already holds spilled entries is an error.
+func (s *Set) EnableSpill(cfg SpillConfig) error {
+	if s.spill != nil {
+		return errors.New("fpset: spill already enabled")
+	}
+	if cfg.Dir == "" {
+		return errors.New("fpset: spill dir required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("fpset: spill dir: %w", err)
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = defaultMaxRuns
+	}
+	sp := &spillState{dir: cfg.Dir, budget: cfg.BudgetBytes, maxRuns: cfg.MaxRuns}
+	empty := []*spillRun{}
+	sp.runs.Store(&empty)
+	s.spill = sp
+	return nil
+}
+
+// CloseSpill closes every run file handle. Run files themselves are left on
+// disk for the owner of SpillConfig.Dir to remove. Must be called with no
+// concurrent set operations.
+func (s *Set) CloseSpill() {
+	sp := s.spill
+	if sp == nil {
+		return
+	}
+	for _, r := range *sp.runs.Load() {
+		r.f.Close()
+	}
+	empty := []*spillRun{}
+	sp.runs.Store(&empty)
+}
+
+// MemBytes estimates the set's resident footprint: allocated table slots
+// (key + edge) plus the per-run index and bloom structures. It locks shards
+// one at a time; call it at block/level boundaries, not hot loops.
+func (s *Set) MemBytes() int64 {
+	var slots int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		slots += int64(len(sh.keys))
+		sh.mu.Unlock()
+	}
+	// 8 bytes of key + 16 bytes of Edge (padded) per slot.
+	b := slots * 24
+	if sp := s.spill; sp != nil {
+		for _, r := range *sp.runs.Load() {
+			b += r.ramBytes()
+		}
+	}
+	return b
+}
+
+// MaybeSpill spills frozen entries (Depth <= maxDepth) to disk when the
+// configured budget is exceeded, merging runs if the run list has grown past
+// its bound. It returns the number of entries moved (0 when under budget or
+// nothing is frozen). Caller must be at a safepoint: no concurrent Insert,
+// Lookup, Range, or snapshot.
+func (s *Set) MaybeSpill(maxDepth int32) (int, error) {
+	sp := s.spill
+	if sp == nil || sp.budget <= 0 || s.MemBytes() <= sp.budget {
+		return 0, nil
+	}
+	return s.SpillFrozen(maxDepth)
+}
+
+// SpillFrozen unconditionally moves every in-RAM entry with Depth <=
+// maxDepth into a new sorted on-disk run and shrinks the shard tables to fit
+// what remains. See the package comment on spill.go for why only frozen
+// depths may move. Caller must be at a safepoint.
+func (s *Set) SpillFrozen(maxDepth int32) (int, error) {
+	sp := s.spill
+	if sp == nil {
+		return 0, errors.New("fpset: spill not enabled")
+	}
+	// Pass 1: collect frozen entries without touching the tables, so a
+	// failed run write loses nothing.
+	var recs []record
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for j, k := range sh.keys {
+			if k != 0 && sh.meta[j].Depth <= maxDepth {
+				recs = append(recs, record{key: k, e: sh.meta[j]})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	slices.SortFunc(recs, func(a, b record) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
+	})
+	run, err := sp.writeRun(recs)
+	if err != nil {
+		return 0, err
+	}
+	// Pass 2: the run is durable; drop the spilled entries from RAM and
+	// shrink each touched shard's table to the smallest power of two that
+	// holds the remainder under the load factor.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		moved := 0
+		for j, k := range sh.keys {
+			if k != 0 && sh.meta[j].Depth <= maxDepth {
+				moved++
+			}
+		}
+		if moved == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		sp.shardSpills++
+		remaining := sh.n - moved
+		capacity := minShardCap
+		for capacity*maxLoadNum/maxLoadDen <= remaining {
+			capacity <<= 1
+		}
+		oldKeys, oldMeta := sh.keys, sh.meta
+		resizes, probes := sh.resizes, sh.probes
+		sh.init(capacity)
+		sh.resizes, sh.probes = resizes, probes
+		for j, k := range oldKeys {
+			if k == 0 || oldMeta[j].Depth <= maxDepth {
+				continue
+			}
+			slot := slotFor(k, len(sh.keys))
+			for sh.keys[slot] != 0 {
+				slot = (slot + 1) & (len(sh.keys) - 1)
+			}
+			sh.keys[slot] = k
+			sh.meta[slot] = oldMeta[j]
+			sh.n++
+		}
+		sh.mu.Unlock()
+	}
+	sp.spillEvents++
+	sp.spilledEntries.Add(int64(len(recs)))
+	sp.spillBytes.Add(run.bytes)
+	runs := append(slices.Clone(*sp.runs.Load()), run)
+	sp.runs.Store(&runs)
+	if len(runs) > sp.maxRuns {
+		if err := sp.mergeRuns(); err != nil {
+			return len(recs), err
+		}
+	}
+	return len(recs), nil
+}
+
+// writeRun streams sorted records into a new run file and builds its in-RAM
+// probe structures. The file handle stays open for ReadAt lookups.
+func (sp *spillState) writeRun(recs []record) (*spillRun, error) {
+	sp.seq++
+	path := filepath.Join(sp.dir, fmt.Sprintf("run-%06d.fps", sp.seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	run := &spillRun{
+		f: f, path: path,
+		count:  int64(len(recs)),
+		minKey: recs[0].key, maxKey: recs[len(recs)-1].key,
+		filter: newBloom(int64(len(recs))),
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var hdr [runHeaderSize]byte
+	copy(hdr[:8], runMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	var buf [recordSize]byte
+	for i, rec := range recs {
+		if i%indexEvery == 0 {
+			run.index = append(run.index, rec.key)
+		}
+		run.filter.add(rec.key)
+		binary.LittleEndian.PutUint64(buf[0:8], rec.key)
+		binary.LittleEndian.PutUint64(buf[8:16], rec.e.Parent)
+		binary.LittleEndian.PutUint32(buf[16:20], uint32(rec.e.Depth))
+		if _, err := bw.Write(buf[:]); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	run.bytes = runHeaderSize + run.count*recordSize
+	return run, nil
+}
+
+// lookup probes the disk runs for key. It is lock-free: the run list is
+// immutable once published and run files are immutable once written.
+func (sp *spillState) lookup(key uint64) (Edge, bool) {
+	for _, r := range *sp.runs.Load() {
+		if key < r.minKey || key > r.maxKey || !r.filter.mightContain(key) {
+			continue
+		}
+		sp.diskProbes.Add(1)
+		if e, ok := r.find(key); ok {
+			sp.diskHits.Add(1)
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// blockBufPool recycles the fixed-size block buffers disk probes read into.
+var blockBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, indexEvery*recordSize)
+		return &b
+	},
+}
+
+// find locates key in one run: binary-search the sparse index for the block,
+// read it with one ReadAt, binary-search the block.
+func (r *spillRun) find(key uint64) (Edge, bool) {
+	// First index entry > key; the record (if present) is in block i-1.
+	i := sort.Search(len(r.index), func(i int) bool { return r.index[i] > key })
+	if i == 0 {
+		return Edge{}, false
+	}
+	block := int64(i - 1)
+	lo := block * indexEvery
+	hi := min(lo+indexEvery, r.count)
+	bufp := blockBufPool.Get().(*[]byte)
+	defer blockBufPool.Put(bufp)
+	buf := (*bufp)[:int(hi-lo)*recordSize]
+	if _, err := r.f.ReadAt(buf, runHeaderSize+lo*recordSize); err != nil {
+		return Edge{}, false
+	}
+	n := int(hi - lo)
+	j := sort.Search(n, func(j int) bool {
+		return binary.LittleEndian.Uint64(buf[j*recordSize:]) >= key
+	})
+	if j == n || binary.LittleEndian.Uint64(buf[j*recordSize:]) != key {
+		return Edge{}, false
+	}
+	rec := buf[j*recordSize:]
+	return Edge{
+		Parent: binary.LittleEndian.Uint64(rec[8:16]),
+		Depth:  int32(binary.LittleEndian.Uint32(rec[16:20])),
+	}, true
+}
+
+// scan streams every record of the run in key order. Used by Range and the
+// checkpoint writer; safepoint-only (shares the file offset via ReadAt-free
+// sequential reads on a private descriptor).
+func (r *spillRun) scan(fn func(key uint64, e Edge) bool) error {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	if _, err := br.Discard(runHeaderSize); err != nil {
+		return err
+	}
+	var buf [recordSize]byte
+	for i := int64(0); i < r.count; i++ {
+		if _, err := readFull(br, buf[:]); err != nil {
+			return fmt.Errorf("fpset: run %s record %d/%d: %w", r.path, i, r.count, err)
+		}
+		e := Edge{
+			Parent: binary.LittleEndian.Uint64(buf[8:16]),
+			Depth:  int32(binary.LittleEndian.Uint32(buf[16:20])),
+		}
+		if !fn(binary.LittleEndian.Uint64(buf[0:8]), e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// readFull is io.ReadFull without importing io here.
+func readFull(br *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := br.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// mergeRuns streams every run into one new sorted run (keys across runs are
+// disjoint, so this is a pure k-way merge) and retires the old files.
+// Safepoint-only.
+func (sp *spillState) mergeRuns() error {
+	old := *sp.runs.Load()
+	if len(old) <= 1 {
+		return nil
+	}
+	var total int64
+	for _, r := range old {
+		total += r.count
+	}
+	sp.seq++
+	path := filepath.Join(sp.dir, fmt.Sprintf("run-%06d.fps", sp.seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	merged := &spillRun{f: f, path: path, count: total, filter: newBloom(total)}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var hdr [runHeaderSize]byte
+	copy(hdr[:8], runMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(total))
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	srcs := make([]*runCursor, 0, len(old))
+	for _, r := range old {
+		c, err := newRunCursor(r)
+		if err != nil {
+			return fail(err)
+		}
+		defer c.close()
+		srcs = append(srcs, c)
+	}
+	var buf [recordSize]byte
+	written := int64(0)
+	for {
+		best := -1
+		for i, c := range srcs {
+			if !c.ok {
+				continue
+			}
+			if best == -1 || c.key < srcs[best].key {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := srcs[best]
+		if written%indexEvery == 0 {
+			merged.index = append(merged.index, c.key)
+		}
+		if written == 0 {
+			merged.minKey = c.key
+		}
+		merged.maxKey = c.key
+		merged.filter.add(c.key)
+		binary.LittleEndian.PutUint64(buf[0:8], c.key)
+		binary.LittleEndian.PutUint64(buf[8:16], c.e.Parent)
+		binary.LittleEndian.PutUint32(buf[16:20], uint32(c.e.Depth))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fail(err)
+		}
+		written++
+		if err := c.advance(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if written != total {
+		return fail(fmt.Errorf("fpset: merge wrote %d of %d records", written, total))
+	}
+	merged.bytes = runHeaderSize + total*recordSize
+	runs := []*spillRun{merged}
+	sp.runs.Store(&runs)
+	sp.merges++
+	for _, r := range old {
+		r.f.Close()
+		os.Remove(r.path)
+	}
+	return nil
+}
+
+// runCursor streams one run during a merge.
+type runCursor struct {
+	f    *os.File
+	br   *bufio.Reader
+	left int64
+	key  uint64
+	e    Edge
+	ok   bool
+}
+
+func newRunCursor(r *spillRun) (*runCursor, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	if _, err := br.Discard(runHeaderSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	c := &runCursor{f: f, br: br, left: r.count}
+	if err := c.advance(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *runCursor) close() { c.f.Close() }
+
+func (c *runCursor) advance() error {
+	if c.left == 0 {
+		c.ok = false
+		return nil
+	}
+	var buf [recordSize]byte
+	if _, err := readFull(c.br, buf[:]); err != nil {
+		return err
+	}
+	c.left--
+	c.key = binary.LittleEndian.Uint64(buf[0:8])
+	c.e = Edge{
+		Parent: binary.LittleEndian.Uint64(buf[8:16]),
+		Depth:  int32(binary.LittleEndian.Uint32(buf[16:20])),
+	}
+	c.ok = true
+	return nil
+}
+
+// rangeSpilled iterates every spilled record across runs (unspecified
+// inter-run order). Safepoint-only.
+func (sp *spillState) rangeSpilled(fn func(key uint64, e Edge) bool) error {
+	stop := false
+	for _, r := range *sp.runs.Load() {
+		if stop {
+			return nil
+		}
+		err := r.scan(func(key uint64, e Edge) bool {
+			if !fn(key, e) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

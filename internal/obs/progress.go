@@ -53,6 +53,11 @@ type Progress struct {
 	Elapsed time.Duration
 	// Final marks the last report of a run (emitted unconditionally).
 	Final bool
+	// Warning carries an out-of-band degradation notice (checkpoint write
+	// failure, spill fallback). A report with Warning set is delivered via
+	// Reporter.Warnf outside the normal cadence and has all counter fields
+	// zero.
+	Warning string
 }
 
 // DedupRatio is the fraction of generated successors that were duplicates.
@@ -65,8 +70,11 @@ func (p Progress) DedupRatio() float64 {
 
 // String renders the TLC-style progress line, extended with the analytics
 // fields when they carry information: smoothed throughput, the dedup-curve
-// ETA, and a stall marker.
+// ETA, and a stall marker. Warning-only reports render as a warning line.
 func (p Progress) String() string {
+	if p.Warning != "" {
+		return "warning: " + p.Warning
+	}
 	s := fmt.Sprintf("progress(%d): %d distinct states, queue %d, %d transitions, dedup %.1f%%, %.0f states/s, elapsed %s",
 		p.Depth, p.DistinctStates, p.QueueLen, p.Transitions, 100*p.DedupRatio(), p.StatesPerSec, p.Elapsed.Round(time.Millisecond))
 	if p.StatesPerSecEWMA > 0 && !p.Final {
@@ -250,6 +258,16 @@ func (r *Reporter) Emit(p Progress) {
 	r.lastStates = p.DistinctStates
 	r.lastQueue = p.QueueLen
 	r.fn(p)
+}
+
+// Warnf delivers an out-of-band warning through the progress callback,
+// bypassing the cadence and leaving it undisturbed (no counter or rate state
+// changes). Nil-safe; no-op without a callback.
+func (r *Reporter) Warnf(format string, args ...any) {
+	if r == nil || r.fn == nil {
+		return
+	}
+	r.fn(Progress{Warning: fmt.Sprintf(format, args...)})
 }
 
 // Maybe emits p when the cadence is due. Returns true when it emitted.

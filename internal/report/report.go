@@ -92,6 +92,7 @@ func Render(w io.Writer, d *Data) error {
 		fmt.Fprintf(b, "\nSource: `%s`\n", d.Source)
 	}
 	renderSummary(b, d)
+	renderMemory(b, d)
 	renderCoverage(b, d.Cover)
 	renderDepthProfile(b, d.Cover)
 	renderTimeline(b, d.Events)
@@ -166,6 +167,91 @@ func formatValue(key string, v any) string {
 		return fmt.Sprintf("%.1f", f)
 	default:
 		return fmt.Sprintf("%v", v)
+	}
+}
+
+// metricNum extracts a numeric top-level metric from the snapshot. Numbers
+// arrive as float64 when the snapshot was decoded from JSON and as Go
+// integer types when handed over in-process.
+func metricNum(m map[string]any, key string) (float64, bool) {
+	switch n := m[key].(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// formatBytes humanises a byte count for the memory section.
+func formatBytes(f float64) string {
+	switch {
+	case f >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", f/(1<<30))
+	case f >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", f/(1<<20))
+	case f >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", f/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", f)
+	}
+}
+
+// renderMemory emits the "Memory & spill" section when the run carried a
+// memory budget or produced out-of-core activity: how much of the
+// fingerprint set and frontier went to disk, what disk lookups cost, and how
+// the incremental checkpoint chain grew. Silent for fully in-RAM runs.
+func renderMemory(b *strings.Builder, d *Data) {
+	budget, _ := metricNum(d.Metrics, "mem_budget_bytes")
+	spilledEntries, _ := metricNum(d.Metrics, "fpset.spilled_entries")
+	frontierBytes, _ := metricNum(d.Metrics, "explorer.frontier_spill_bytes")
+	deltas, _ := metricNum(d.Metrics, "checkpoint.deltas")
+	ckErrors, _ := metricNum(d.Metrics, "checkpoint.errors")
+	if budget == 0 && spilledEntries == 0 && frontierBytes == 0 && deltas == 0 && ckErrors == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\n## Memory & spill\n\n| metric | value |\n|---|---|\n")
+	row := func(label, val string) { fmt.Fprintf(b, "| %s | %s |\n", label, val) }
+	if budget > 0 {
+		row("memory budget", formatBytes(budget))
+	}
+	if heap, ok := metricNum(d.Metrics, "heap_inuse_bytes"); ok && heap > 0 {
+		row("heap in use (last sample)", formatBytes(heap))
+	}
+	if spilledEntries > 0 {
+		row("fingerprints spilled to disk", fmt.Sprintf("%.0f", spilledEntries))
+		if shards, ok := metricNum(d.Metrics, "fpset.spilled_shards"); ok && shards > 0 {
+			row("shard spill passes", fmt.Sprintf("%.0f", shards))
+		}
+		if runs, ok := metricNum(d.Metrics, "fpset.spill_runs"); ok {
+			row("open spill runs", fmt.Sprintf("%.0f", runs))
+		}
+		if bytes, ok := metricNum(d.Metrics, "fpset.spill_bytes"); ok && bytes > 0 {
+			row("fingerprint spill size", formatBytes(bytes))
+		}
+		if probes, ok := metricNum(d.Metrics, "fpset.disk_probes"); ok {
+			row("disk probes", fmt.Sprintf("%.0f", probes))
+		}
+	}
+	if frontierBytes > 0 {
+		row("frontier spilled", formatBytes(frontierBytes))
+		if n, ok := metricNum(d.Metrics, "explorer.frontier_spilled_entries"); ok {
+			row("frontier states spilled", fmt.Sprintf("%.0f", n))
+		}
+	}
+	if deltas > 0 {
+		row("checkpoint delta blocks", fmt.Sprintf("%.0f", deltas))
+		if n, ok := metricNum(d.Metrics, "checkpoint.delta_bytes"); ok {
+			row("checkpoint delta size", formatBytes(n))
+		}
+		if n, ok := metricNum(d.Metrics, "checkpoint.compactions"); ok && n > 0 {
+			row("checkpoint compactions", fmt.Sprintf("%.0f", n))
+		}
+	}
+	if ckErrors > 0 {
+		row("**checkpoint write failures**", fmt.Sprintf("%.0f", ckErrors))
 	}
 }
 

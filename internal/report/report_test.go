@@ -97,6 +97,63 @@ func TestRenderSections(t *testing.T) {
 	}
 }
 
+// TestRenderMemorySection: the "Memory & spill" section appears exactly when
+// the run carried a budget or spilled, with humanised sizes, and flags
+// checkpoint write failures.
+func TestRenderMemorySection(t *testing.T) {
+	d := &Data{Metrics: map[string]any{
+		"mem_budget_bytes":                  float64(8 << 30),
+		"heap_inuse_bytes":                  float64(6442450944),
+		"fpset.spilled_entries":             float64(120000),
+		"fpset.spilled_shards":              float64(3),
+		"fpset.spill_runs":                  float64(2),
+		"fpset.spill_bytes":                 float64(2400000),
+		"fpset.disk_probes":                 float64(55555),
+		"explorer.frontier_spill_bytes":     float64(1 << 20),
+		"explorer.frontier_spilled_entries": float64(4096),
+		"checkpoint.deltas":                 float64(7),
+		"checkpoint.delta_bytes":            float64(900 << 10),
+		"checkpoint.compactions":            float64(1),
+		"checkpoint.errors":                 float64(2),
+	}}
+	var b strings.Builder
+	if err := Render(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"## Memory & spill",
+		"| memory budget | 8.00 GiB |",
+		"| heap in use (last sample) | 6.00 GiB |",
+		"| fingerprints spilled to disk | 120000 |",
+		"| shard spill passes | 3 |",
+		"| fingerprint spill size | 2.29 MiB |",
+		"| disk probes | 55555 |",
+		"| frontier spilled | 1.00 MiB |",
+		"| frontier states spilled | 4096 |",
+		"| checkpoint delta blocks | 7 |",
+		"| checkpoint delta size | 900.0 KiB |",
+		"| checkpoint compactions | 1 |",
+		"| **checkpoint write failures** | 2 |",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("memory section missing %q:\n%s", want, text)
+		}
+	}
+
+	// An in-RAM run (all spill metrics zero or absent) renders no section.
+	var b2 strings.Builder
+	if err := Render(&b2, &Data{Metrics: map[string]any{
+		"mem_budget_bytes":      float64(0),
+		"fpset.spilled_entries": float64(0),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), "## Memory & spill") {
+		t.Fatalf("in-RAM run rendered a memory section:\n%s", b2.String())
+	}
+}
+
 // TestRenderPartialData: a report from nothing but a coverage profile (or
 // nothing at all) must not emit empty sections or panic.
 func TestRenderPartialData(t *testing.T) {
@@ -104,7 +161,7 @@ func TestRenderPartialData(t *testing.T) {
 	if err := Render(&b, &Data{}); err != nil {
 		t.Fatal(err)
 	}
-	for _, section := range []string{"## Run summary", "## Action coverage", "## Depth profile", "## Throughput timeline", "## Counterexample"} {
+	for _, section := range []string{"## Run summary", "## Action coverage", "## Depth profile", "## Throughput timeline", "## Counterexample", "## Memory & spill"} {
 		if strings.Contains(b.String(), section) {
 			t.Fatalf("empty data rendered section %s", section)
 		}

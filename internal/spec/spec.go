@@ -147,6 +147,28 @@ func DeclaredActions(m Machine) []string {
 	return nil
 }
 
+// StateCodec is an optional Machine capability: states round-trip through a
+// compact binary encoding. States are deliberately NOT generically
+// serialisable (Vars() is for humans, not round-trips), so out-of-core
+// features that must park live states on disk — the explorer's frontier
+// spill under a memory budget — are only available on machines that opt in
+// here. The contract is
+//
+//	DecodeState(AppendState(nil, s)).Fingerprint() == s.Fingerprint()
+//
+// and the decoded state must be behaviourally identical to the original
+// (same successors, same invariant verdicts). The encoding is private to the
+// machine and never persisted across runs, so it carries no versioning.
+type StateCodec interface {
+	// AppendState appends s's encoding to dst and returns the extended
+	// slice (append-style, so callers can batch many states into one
+	// buffer without per-state allocations).
+	AppendState(dst []byte, s State) []byte
+	// DecodeState decodes one state from the front of src, returning the
+	// state and the remaining bytes.
+	DecodeState(src []byte) (State, []byte, error)
+}
+
 // Config instantiates a model: the node count and the workload values that
 // client requests write (the paper's "system configurations" in §3.3).
 type Config struct {

@@ -12,6 +12,7 @@
 package toy
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"github.com/sandtable-go/sandtable/internal/fp"
@@ -162,4 +163,48 @@ func (m *LostUpdate) Permute(st spec.State, perm []int) spec.State {
 		n.PC[perm[i]] = s.PC[i]
 	}
 	return n
+}
+
+// AppendState implements spec.StateCodec: Mem then the per-process Local and
+// PC registers as varints. The process count comes from the machine, so the
+// encoding carries no lengths.
+func (m *LostUpdate) AppendState(dst []byte, st spec.State) []byte {
+	s := st.(*LostUpdateState)
+	dst = binary.AppendVarint(dst, int64(s.Mem))
+	for i := 0; i < m.N; i++ {
+		dst = binary.AppendVarint(dst, int64(s.Local[i]))
+	}
+	for i := 0; i < m.N; i++ {
+		dst = binary.AppendVarint(dst, int64(s.PC[i]))
+	}
+	return dst
+}
+
+// DecodeState implements spec.StateCodec.
+func (m *LostUpdate) DecodeState(src []byte) (spec.State, []byte, error) {
+	next := func() (int, error) {
+		v, n := binary.Varint(src)
+		if n <= 0 {
+			return 0, fmt.Errorf("toy: truncated state encoding")
+		}
+		src = src[n:]
+		return int(v), nil
+	}
+	mem, err := next()
+	if err != nil {
+		return nil, nil, err
+	}
+	ints := make([]int, 2*m.N)
+	s := &LostUpdateState{Mem: mem, Local: ints[0:m.N:m.N], PC: ints[m.N : 2*m.N : 2*m.N]}
+	for i := 0; i < m.N; i++ {
+		if s.Local[i], err = next(); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 0; i < m.N; i++ {
+		if s.PC[i], err = next(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, src, nil
 }

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Runs the perf-trajectory benchmarks — BenchmarkTable3Exploration (the
 # guard benchmark for explorer hot-path changes, e.g. observability
-# instrumentation) and BenchmarkConformance (the parallel replay pool's
-# workers sweep) — and writes BENCH_explorer.json with the raw
+# instrumentation), BenchmarkSpillExploration (in-RAM vs memory-budgeted
+# spill-path throughput), and BenchmarkConformance (the parallel replay
+# pool's workers sweep) — and writes BENCH_explorer.json with the raw
 # `go test -bench` lines plus parsed per-run numbers.
 #
 # Usage: scripts/bench.sh [count]   (default: 3 runs per benchmark)
@@ -16,7 +17,7 @@ OUT="${BENCH_OUT:-BENCH_explorer.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTable3Exploration|BenchmarkConformance' -benchmem -count "$COUNT" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkTable3Exploration|BenchmarkSpillExploration|BenchmarkConformance' -benchmem -count "$COUNT" . | tee "$RAW"
 
 # Render the raw lines into a small JSON report. Exploration runs carry
 # states/s, conformance runs events/s; the field a run lacks stays null.
@@ -27,7 +28,7 @@ go test -run '^$' -bench 'BenchmarkTable3Exploration|BenchmarkConformance' -benc
 # legitimately say workers=1, and gomaxprocs is what proves that is the
 # machine, not a parse failure.
 awk -v count="$COUNT" '
-BEGIN { print "{"; printf "  \"benchmarks\": [\"BenchmarkTable3Exploration\", \"BenchmarkConformance\"],\n  \"count\": %d,\n  \"runs\": [\n", count }
+BEGIN { print "{"; printf "  \"benchmarks\": [\"BenchmarkTable3Exploration\", \"BenchmarkSpillExploration\", \"BenchmarkConformance\"],\n  \"count\": %d,\n  \"runs\": [\n", count }
 /^Benchmark/ && NF >= 2 && $2 ~ /^[0-9]+$/ {
     name = $1
     sub(/-[0-9]+$/, "", name)

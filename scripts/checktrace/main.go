@@ -6,14 +6,17 @@
 // CI before it breaks downstream tooling (`sandtable report`, dashboards
 // scraping /metrics, archived run artifacts).
 //
-// Usage: checktrace [-metrics FILE] [TRACE.jsonl ...]
+// Usage: checktrace [-metrics FILE] [-require METRIC ...] [TRACE.jsonl ...]
 //
 // Every trace event must parse, pass obs.ValidateEvent (readable version,
 // known layer, non-empty kind), and carry a strictly increasing sequence
 // number within its file. The metrics snapshot must pass
 // obs.ValidateMetrics, and an embedded coverage profile must carry a
-// readable schema version. The exit status is the gate: 0 only if every
-// artifact validates.
+// readable schema version. Each -require METRIC (repeatable) additionally
+// asserts that the snapshot holds the named metric with a value greater
+// than zero — how `make soak` proves a run actually exercised the spill
+// and delta-checkpoint paths rather than finishing comfortably in RAM.
+// The exit status is the gate: 0 only if every artifact validates.
 package main
 
 import (
@@ -25,9 +28,25 @@ import (
 	"github.com/sandtable-go/sandtable/internal/obs"
 )
 
+// requireList collects repeated -require flags.
+type requireList []string
+
+func (r *requireList) String() string { return fmt.Sprint([]string(*r)) }
+
+func (r *requireList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
 func main() {
 	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to validate (-metrics-out artifact)")
+	var require requireList
+	flag.Var(&require, "require", "require this metric to be present and > 0 in the -metrics snapshot (repeatable)")
 	flag.Parse()
+	if len(require) > 0 && *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "checktrace: -require needs -metrics FILE")
+		os.Exit(2)
+	}
 	if *metricsPath == "" && flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: checktrace [-metrics FILE] [TRACE.jsonl ...]")
 		os.Exit(2)
@@ -48,7 +67,7 @@ func main() {
 		fmt.Printf("%s: %d event(s) OK\n", path, n)
 	}
 	if *metricsPath != "" {
-		if err := checkMetricsFile(*metricsPath); err != nil {
+		if err := checkMetricsFile(*metricsPath, require); err != nil {
 			fail("%s: %v", *metricsPath, err)
 		} else {
 			fmt.Printf("%s: metrics snapshot OK\n", *metricsPath)
@@ -87,8 +106,9 @@ func checkTraceFile(path string) (int, error) {
 }
 
 // checkMetricsFile validates one metrics snapshot, including the schema
-// version of an embedded coverage profile when present.
-func checkMetricsFile(path string) error {
+// version of an embedded coverage profile when present, and enforces any
+// -require assertions against it.
+func checkMetricsFile(path string, require []string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -112,6 +132,20 @@ func checkMetricsFile(path string) error {
 		if cover.Schema != obs.MetricsSchemaVersion {
 			return fmt.Errorf("cover: schema version %d, this build reads %d", cover.Schema, obs.MetricsSchemaVersion)
 		}
+	}
+	for _, key := range require {
+		v, ok := snap[key]
+		if !ok {
+			return fmt.Errorf("required metric %q missing from snapshot", key)
+		}
+		n, ok := v.(float64) // JSON numbers decode as float64
+		if !ok {
+			return fmt.Errorf("required metric %q is %T, not a number", key, v)
+		}
+		if n <= 0 {
+			return fmt.Errorf("required metric %q = %v, want > 0", key, n)
+		}
+		fmt.Printf("%s: required metric %s = %.0f\n", path, key, n)
 	}
 	return nil
 }
