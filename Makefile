@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-conform fuzz docs checktrace soak ci bench benchdiff clean
+.PHONY: all build vet test race race-conform fuzz docs checktrace soak cluster ci bench benchdiff clean
 
 all: ci
 
@@ -67,11 +67,40 @@ soak:
 		-mem-budget 256KiB -spill-dir "$$tmp/spill" -checkpoint "$$tmp/ck" -resume >/dev/null && \
 	echo "soak: spill + delta checkpoint + resume OK"
 
+# cluster proves the distributed-equivalence guarantee end to end on real
+# sockets: a 3-process localhost TCP run of a violating craft configuration
+# against a single-process -workers 1 reference. checktrace -require
+# asserts frontier blocks actually crossed the transport (a run that never
+# exchanged state proves nothing), clustercmp asserts every peer's result
+# counters, stop decision, violation set, and full coverage profile match
+# the reference, and cmp asserts the coordinator reconstructed a
+# byte-identical counterexample trace through remote edge probes. Ports
+# are derived from the shell PID so concurrent CI jobs don't collide.
+cluster:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/sandtable" ./cmd/sandtable; \
+	base=$$((42000 + $$$$ % 2000)); \
+	peers="127.0.0.1:$$base,127.0.0.1:$$((base+1)),127.0.0.1:$$((base+2))"; \
+	run() { "$$tmp/sandtable" check -system craft -nodes 3 -max-timeouts 2 -max-requests 1 \
+		-max-buffer 2 -deadline 120s "$$@"; }; \
+	run -workers 1 -metrics-out "$$tmp/ref.json" -o "$$tmp/ref-trace.json" >/dev/null; \
+	run -workers 2 -peers "$$peers" -peer-id 1 -metrics-out "$$tmp/peer1.json" >/dev/null 2>&1 & p1=$$!; \
+	run -workers 2 -peers "$$peers" -peer-id 2 -metrics-out "$$tmp/peer2.json" >/dev/null 2>&1 & p2=$$!; \
+	run -workers 2 -peers "$$peers" -peer-id 0 -metrics-out "$$tmp/peer0.json" \
+		-o "$$tmp/cluster-trace.json" >/dev/null; \
+	wait $$p1; wait $$p2; \
+	$(GO) run ./scripts/checktrace -metrics "$$tmp/peer0.json" \
+		-require transport.blocks_sent -require transport.bytes_recv -require transport.barriers; \
+	$(GO) run ./scripts/clustercmp -ref "$$tmp/ref.json" "$$tmp/peer0.json" "$$tmp/peer1.json" "$$tmp/peer2.json"; \
+	cmp "$$tmp/ref-trace.json" "$$tmp/cluster-trace.json"; \
+	echo "cluster: 3-peer run matches single-process reference (counters, coverage, trace)"
+
 # ci is the gate every change must pass: compile, static checks, the docs
 # gate, the full test suite under the race detector, the repeated race run
 # of the parallel conformance pool, a short fuzz smoke, the observability
-# artifact schema gate, and the out-of-core soak.
-ci: build vet docs race race-conform fuzz checktrace soak
+# artifact schema gate, the out-of-core soak, and the 3-process
+# distributed-equivalence gate.
+ci: build vet docs race race-conform fuzz checktrace soak cluster
 
 # bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
 # (see scripts/bench.sh for the JSON shape).

@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -35,6 +37,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/shrink"
 	"github.com/sandtable-go/sandtable/internal/spec"
 	"github.com/sandtable-go/sandtable/internal/trace"
+	"github.com/sandtable-go/sandtable/internal/transport"
 	"github.com/sandtable-go/sandtable/internal/vos"
 )
 
@@ -397,6 +400,9 @@ func runCheck(args []string) error {
 	doShrink := fs.Bool("shrink", false, "minimize the counterexample with delta debugging (ddmin) before printing/writing it")
 	showTrace := fs.Bool("trace", true, "print the counterexample trace")
 	out := fs.String("o", "", "write the counterexample trace as JSON (replay it with `sandtable replay -trace <file>`)")
+	peers := fs.String("peers", "", "comma-separated peer listen addresses (host:port, one per peer): run this process as one peer of a distributed exploration (see OPERATIONS.md)")
+	peerID := fs.Int("peer-id", 0, "this process's index into -peers (peer 0 coordinates and prints the counterexample)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "cluster connection-establishment timeout (0 = 30s)")
 	fs.Parse(args)
 
 	if *resume && *ckDir == "" {
@@ -405,6 +411,26 @@ func runCheck(args []string) error {
 	budget, err := resolveMemBudget(*memBudget)
 	if err != nil {
 		return fmt.Errorf("check: %w", err)
+	}
+	var peerAddrs []string
+	if *peers != "" {
+		for _, a := range strings.Split(*peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				peerAddrs = append(peerAddrs, a)
+			}
+		}
+		if len(peerAddrs) < 2 {
+			return fmt.Errorf("check: -peers needs at least 2 addresses, got %d", len(peerAddrs))
+		}
+		if *peerID < 0 || *peerID >= len(peerAddrs) {
+			return fmt.Errorf("check: -peer-id %d out of range [0,%d)", *peerID, len(peerAddrs))
+		}
+		if budget > 0 {
+			return fmt.Errorf("check: -mem-budget is not supported with -peers (partitioning already divides the footprint)")
+		}
+		if *resume && *ckDir == "" {
+			return fmt.Errorf("check: cluster resume requires -checkpoint <dir> on every peer")
+		}
 	}
 	st, err := sf.session()
 	if err != nil {
@@ -435,6 +461,29 @@ func runCheck(args []string) error {
 	opts.ProgressInterval = o.interval
 	opts.Metrics = o.reg
 	opts.Tracer = o.tracer
+	coordinator := true
+	if len(peerAddrs) > 0 {
+		// Every peer must agree on the run configuration before any state
+		// flows; the handshake digest catches a peer launched with a
+		// different -system/-bug/-nodes/-fixed combination.
+		h := fnv.New64a()
+		io.WriteString(h, checkLabel(st))
+		fmt.Fprintf(h, "|peers=%d", len(peerAddrs))
+		conn, err := transport.DialTCP(transport.TCPOptions{
+			Addrs:   peerAddrs,
+			Self:    *peerID,
+			Digest:  h.Sum64(),
+			Timeout: *peerTimeout,
+			Metrics: transport.NewMetrics(o.reg),
+		})
+		if err != nil {
+			o.close(nil)
+			return fmt.Errorf("check: %w", err)
+		}
+		opts.Peer = &explorer.PeerOptions{Conn: conn}
+		coordinator = *peerID == 0
+		fmt.Printf("peer %d/%d: joined cluster, exploring fingerprint shard %d\n", *peerID, len(peerAddrs), *peerID)
+	}
 
 	stopExplore := o.reg.StartPhase("explore")
 	res := st.Check(opts)
@@ -473,6 +522,11 @@ func runCheck(args []string) error {
 	}
 	fmt.Printf("VIOLATION: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
 	summary := resultSummary(res)
+	if !coordinator {
+		// Only the coordinator reconstructs counterexample traces (the
+		// other peers served its remote edge probes and hold no trace).
+		return o.close(summary)
+	}
 	ctrace := v.Trace
 	if *doShrink {
 		// BFS counterexamples are depth-minimal, so this usually confirms

@@ -1,0 +1,370 @@
+package explorer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/fpset"
+	"github.com/sandtable-go/sandtable/internal/obs"
+	"github.com/sandtable-go/sandtable/internal/transport"
+)
+
+// Cluster checkpoints are simpler than single-process ones: no delta chain,
+// just a full per-peer snapshot at a level barrier, all peers at the same
+// depth. The commit point is the coordinator's manifest, written only after
+// a resolve barrier confirms every peer's snapshot succeeded — a crash
+// between snapshots and manifest leaves the previous manifest (and the
+// snapshots it references) authoritative. Peer snapshots are depth-stamped
+// (peer-<id>/cluster-<depth>.snap) so an uncommitted write never clobbers
+// the committed one; depths below the manifest are pruned on the
+// coordinator's instruction, one committed level later.
+//
+// Unlike single-process snapshots, cluster snapshots store the frontier
+// *states* (via the machine's StateCodec, which cluster mode requires
+// anyway), so resume needs no guided replay: each peer reloads exactly its
+// shard and the cluster restarts at the manifest depth after the hello
+// barrier re-validates compatibility.
+
+const (
+	clusterSnapMagic    = "SNDTBLCP"
+	clusterSnapVersion  = 1
+	clusterManifestFile = "cluster-manifest.json"
+)
+
+// clusterSnapHeader extends the single-process header with the peer's
+// coordinates in the partition.
+type clusterSnapHeader struct {
+	snapshotHeader
+	PeerID    int `json:"peer_id"`
+	Peers     int `json:"peers"`
+	Partition int `json:"partition_version"`
+}
+
+// clusterManifest is the cluster-wide commit record: the depth at which
+// every peer holds a validated snapshot, plus the model identity resume
+// re-checks.
+type clusterManifest struct {
+	Version    int    `json:"version"`
+	Label      string `json:"label,omitempty"`
+	Machine    string `json:"machine"`
+	Symmetry   bool   `json:"symmetry"`
+	InitDigest uint64 `json:"init_digest"`
+	Peers      int    `json:"peers"`
+	Partition  int    `json:"partition_version"`
+	Depth      int    `json:"depth"`
+}
+
+// clusterRestore is a loaded per-peer snapshot.
+type clusterRestore struct {
+	header   clusterSnapHeader
+	frontier []frontierEntry
+}
+
+// clusterCheckpointer is the coordinator's cadence state. Only peer 0 holds
+// one with a live reporter; the decision travels to the other peers in the
+// data-barrier summary, so the whole cluster snapshots at the same level.
+// The cadence is evaluated against the previous level's global distinct
+// count (the freshest number available before expansion), one level staler
+// than the single-process trigger.
+type clusterCheckpointer struct {
+	cadence    *obs.Reporter
+	pruneBelow int
+}
+
+func (c *Checker) newClusterCheckpointer() *clusterCheckpointer {
+	o := c.opts.Checkpoint
+	if !o.enabled() {
+		return nil
+	}
+	interval := o.Interval
+	if interval == 0 && o.EveryStates == 0 {
+		interval = 60 * time.Second
+	}
+	// Sentinel reporter, used purely for Due/Emit cadence bookkeeping —
+	// the same pattern as the single-process checkpointer.
+	return &clusterCheckpointer{cadence: obs.NewReporter(func(obs.Progress) {}, interval, o.EveryStates)}
+}
+
+func (k *clusterCheckpointer) due(gDistinct int) bool {
+	return k.cadence.Due(gDistinct)
+}
+
+func (k *clusterCheckpointer) emit(gDistinct int) {
+	k.cadence.Emit(obs.Progress{DistinctStates: gDistinct})
+}
+
+func clusterPeerDir(dir string, peer int) string {
+	return filepath.Join(dir, fmt.Sprintf("peer-%d", peer))
+}
+
+func clusterSnapPath(dir string, peer, depth int) string {
+	return filepath.Join(clusterPeerDir(dir, peer), fmt.Sprintf("cluster-%06d.snap", depth))
+}
+
+// writeClusterSnapshot writes this peer's shard at the given depth:
+// header, encoded frontier states, fingerprint set, CRC tail — temp file
+// plus rename, so a torn write is never mistaken for a snapshot.
+func (c *Checker) writeClusterSnapshot(cl *clusterCtx, res *Result, depth int, frontier []frontierEntry, viols []snapViolation, elapsed time.Duration) error {
+	o := c.opts.Checkpoint
+	if !o.enabled() {
+		return fmt.Errorf("checkpoint requested by coordinator but this peer has no checkpoint dir")
+	}
+	dir := clusterPeerDir(o.Dir, cl.self)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	hdr := clusterSnapHeader{
+		snapshotHeader: buildHeader(o, c, res, depth, elapsed),
+		PeerID:         cl.self,
+		Peers:          cl.peers,
+		Partition:      transport.PartitionVersion,
+	}
+	hdr.Version = clusterSnapVersion
+	hdr.Violations = viols
+
+	tmp, err := os.CreateTemp(dir, "cluster-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := writeClusterSnapshotTo(tmp, cl, c.visited, hdr, frontier); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), clusterSnapPath(o.Dir, cl.self, depth))
+}
+
+func writeClusterSnapshotTo(dst io.Writer, cl *clusterCtx, set *fpset.Set, hdr clusterSnapHeader, frontier []frontierEntry) error {
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(dst, crc)
+	var scratch [8]byte
+	if _, err := w.Write([]byte(clusterSnapMagic)); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], clusterSnapVersion)
+	if _, err := w.Write(scratch[:4]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(hb)))
+	if _, err := w.Write(scratch[:4]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hb); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(frontier)))
+	if _, err := w.Write(scratch[:]); err != nil {
+		return err
+	}
+	var enc []byte
+	for i := range frontier {
+		enc = cl.codec.AppendState(enc[:0], frontier[i].state)
+		binary.LittleEndian.PutUint64(scratch[:], frontier[i].fp)
+		if _, err := w.Write(scratch[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(enc)))
+		if _, err := w.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := w.Write(enc); err != nil {
+			return err
+		}
+	}
+	if _, err := set.WriteTo(w); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
+	_, err = dst.Write(scratch[:4])
+	return err
+}
+
+// writeClusterManifest commits the cluster checkpoint at depth. Coordinator
+// only, called after a resolve barrier confirmed every peer's snapshot.
+func (c *Checker) writeClusterManifest(cl *clusterCtx, depth int) error {
+	o := c.opts.Checkpoint
+	man := clusterManifest{
+		Version:    clusterSnapVersion,
+		Label:      o.Label,
+		Machine:    c.m.Name(),
+		Symmetry:   c.sym != nil,
+		InitDigest: c.initDigest(),
+		Peers:      cl.peers,
+		Partition:  transport.PartitionVersion,
+		Depth:      depth,
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(o.Dir, "manifest-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(o.Dir, clusterManifestFile))
+}
+
+// pruneClusterSnaps deletes this peer's snapshots below the last committed
+// manifest depth. Best-effort: a leftover file is wasted disk, not a
+// correctness problem.
+func (c *Checker) pruneClusterSnaps(cl *clusterCtx, below int) {
+	dir := clusterPeerDir(c.opts.Checkpoint.Dir, cl.self)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		var d int
+		if _, err := fmt.Sscanf(e.Name(), "cluster-%06d.snap", &d); err != nil {
+			continue
+		}
+		if d < below {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// loadClusterSnapshot loads this peer's shard at the manifest's committed
+// depth, validating the manifest and the snapshot against the running
+// configuration. Called before the hello barrier, which then cross-checks
+// that every peer resumed from the same depth.
+func (c *Checker) loadClusterSnapshot(cl *clusterCtx) (*clusterRestore, error) {
+	o := c.opts.Checkpoint
+	mpath := filepath.Join(o.Dir, clusterManifestFile)
+	mraw, err := os.ReadFile(mpath)
+	if err != nil {
+		return nil, err
+	}
+	var man clusterManifest
+	if err := json.Unmarshal(mraw, &man); err != nil {
+		return nil, fmt.Errorf("%s: %w", mpath, err)
+	}
+	if man.Version != clusterSnapVersion {
+		return nil, fmt.Errorf("%s: manifest version %d, this build reads %d", mpath, man.Version, clusterSnapVersion)
+	}
+	if man.Machine != c.m.Name() {
+		return nil, fmt.Errorf("%s: checkpoint is for machine %q, this run checks %q", mpath, man.Machine, c.m.Name())
+	}
+	if man.Symmetry != (c.sym != nil) {
+		return nil, fmt.Errorf("%s: checkpoint symmetry=%v, this run uses %v", mpath, man.Symmetry, c.sym != nil)
+	}
+	if o.Label != "" && man.Label != "" && o.Label != man.Label {
+		return nil, fmt.Errorf("%s: checkpoint label %q, this run is %q", mpath, man.Label, o.Label)
+	}
+	if got := c.initDigest(); got != man.InitDigest {
+		return nil, fmt.Errorf("%s: initial-state digest mismatch (different config, budget, or defect set)", mpath)
+	}
+	if man.Peers != cl.peers {
+		return nil, fmt.Errorf("%s: checkpoint is for %d peers, this cluster has %d (repartitioning is not supported)", mpath, man.Peers, cl.peers)
+	}
+	if man.Partition != transport.PartitionVersion {
+		return nil, fmt.Errorf("%s: checkpoint partition version %d, this build uses %d", mpath, man.Partition, transport.PartitionVersion)
+	}
+
+	path := clusterSnapPath(o.Dir, cl.self, man.Depth)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(clusterSnapMagic)+4+4+8+4 {
+		return nil, fmt.Errorf("%s: truncated snapshot (%d bytes)", path, len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got := crc32.ChecksumIEEE(body); got != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%s: checksum mismatch (snapshot corrupt)", path)
+	}
+	r := body
+	if string(r[:len(clusterSnapMagic)]) != clusterSnapMagic {
+		return nil, fmt.Errorf("%s: not a sandtable cluster checkpoint", path)
+	}
+	r = r[len(clusterSnapMagic):]
+	if v := binary.LittleEndian.Uint32(r[:4]); v != clusterSnapVersion {
+		return nil, fmt.Errorf("%s: snapshot version %d, this build reads %d", path, v, clusterSnapVersion)
+	}
+	r = r[4:]
+	hlen := int(binary.LittleEndian.Uint32(r[:4]))
+	r = r[4:]
+	if hlen > len(r) {
+		return nil, fmt.Errorf("%s: truncated header", path)
+	}
+	var hdr clusterSnapHeader
+	if err := json.Unmarshal(r[:hlen], &hdr); err != nil {
+		return nil, fmt.Errorf("%s: header: %w", path, err)
+	}
+	r = r[hlen:]
+	if hdr.PeerID != cl.self || hdr.Peers != cl.peers {
+		return nil, fmt.Errorf("%s: snapshot is peer %d of %d, this peer is %d of %d", path, hdr.PeerID, hdr.Peers, cl.self, cl.peers)
+	}
+	if hdr.Partition != transport.PartitionVersion {
+		return nil, fmt.Errorf("%s: snapshot partition version %d, this build uses %d", path, hdr.Partition, transport.PartitionVersion)
+	}
+	if hdr.Depth != man.Depth {
+		return nil, fmt.Errorf("%s: snapshot depth %d, manifest committed %d", path, hdr.Depth, man.Depth)
+	}
+	if hdr.Machine != c.m.Name() || hdr.Symmetry != (c.sym != nil) || hdr.InitDigest != man.InitDigest {
+		return nil, fmt.Errorf("%s: snapshot does not match the manifest's model identity", path)
+	}
+
+	if len(r) < 8 {
+		return nil, fmt.Errorf("%s: truncated frontier", path)
+	}
+	fcount := binary.LittleEndian.Uint64(r[:8])
+	r = r[8:]
+	frontier := make([]frontierEntry, 0, fcount)
+	for i := uint64(0); i < fcount; i++ {
+		if len(r) < 12 {
+			return nil, fmt.Errorf("%s: truncated frontier entry %d", path, i)
+		}
+		f := binary.LittleEndian.Uint64(r[:8])
+		elen := int(binary.LittleEndian.Uint32(r[8:12]))
+		r = r[12:]
+		if elen > len(r) {
+			return nil, fmt.Errorf("%s: truncated state for %#x", path, f)
+		}
+		st, rest, err := cl.codec.DecodeState(r[:elen])
+		if err != nil {
+			return nil, fmt.Errorf("%s: decode state %#x: %w", path, f, err)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%s: state %#x: %d trailing bytes", path, f, len(rest))
+		}
+		r = r[elen:]
+		frontier = append(frontier, frontierEntry{state: st, fp: f})
+	}
+	set, err := fpset.Read(bytes.NewReader(r), c.opts.FPSetShards)
+	if err != nil {
+		return nil, fmt.Errorf("%s: fingerprint set: %w", path, err)
+	}
+	c.visited = set
+	return &clusterRestore{header: hdr, frontier: frontier}, nil
+}

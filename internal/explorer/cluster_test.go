@@ -1,0 +1,294 @@
+package explorer
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/sandtable-go/sandtable/internal/bugdb"
+	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/specs/raftbase"
+	"github.com/sandtable-go/sandtable/internal/transport"
+	"github.com/sandtable-go/sandtable/internal/vnet"
+)
+
+// The distributed explorer's headline property: a cluster run is
+// byte-identical to a single-process run — counters, violations, coverage
+// profile, counterexample traces — at every peer count and worker count.
+// These tests check it on real raftbase models, in both the exhaustive and
+// the violation-stop regime, plus the kill-one-peer-and-resume path.
+
+// eqMachine is a fully-exhaustible gosyncobj model: 1127 distinct states
+// over 15 levels, no violations.
+func eqMachine() *raftbase.Machine {
+	return raftbase.New(raftbase.Options{
+		System: "gosyncobj", Profile: raftbase.GoSyncObj, Transport: vnet.TCP,
+		Config: spec.Config{Name: "n2w1", Nodes: 2, Workload: []string{"v1"}},
+		Budget: spec.Budget{Name: "eq", MaxTimeouts: 3, MaxRequests: 2, MaxBuffer: 3},
+	})
+}
+
+// bugMachine is a seeded-defect craft model that violates an invariant at
+// depth 7 (18 violating states at that level).
+func bugMachine() *raftbase.Machine {
+	return raftbase.New(raftbase.Options{
+		System: "craft", Profile: raftbase.CRaft, Transport: vnet.UDP, Snapshots: true,
+		Bugs:   bugdb.VerificationBugs("craft"),
+		Config: spec.Config{Name: "n3w1", Nodes: 3, Workload: []string{"v1"}},
+		Budget: spec.Budget{Name: "eq", MaxTimeouts: 2, MaxRequests: 1, MaxBuffer: 2, MaxCompactions: 1},
+	})
+}
+
+// Cover detail level for clusterSig. coverFull includes the per-action
+// Fresh/LastFreshDepth split, which is canonical for cluster runs (the
+// serial merge attributes freshness by min-parent, generation order — the
+// W=1 single-process order) but schedule-dependent for single-process W>1
+// runs when the same state is reachable within one level through different
+// actions: whichever worker inserts first gets the credit. Per-level Fresh
+// totals and everything else are worker-count deterministic everywhere, so
+// W>1 single-process references compare with coverTotals.
+const (
+	coverNone = iota
+	coverTotals
+	coverFull
+)
+
+// clusterSig canonicalises the equivalence-relevant part of a Result.
+// Excluded by design: Duration (wall clock), MaxQueueLen (summed per-peer
+// high-water marks), per-level FpsetProbes and Checkpoint flags (structural,
+// not behavioural), ResumedAtDepth.
+func clusterSig(res *Result, coverMode int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distinct=%d trans=%d dedup=%d maxdepth=%d stop=%s exhausted=%v goal=%v\n",
+		res.DistinctStates, res.Transitions, res.DedupHits, res.MaxDepth,
+		res.StopReason, res.Exhausted, res.GoalReached)
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "viol d=%d fp=%#x %s: %v\n", v.Depth, v.fp, v.Invariant, v.Err)
+	}
+	if coverMode != coverNone && res.Cover != nil {
+		fmt.Fprintf(&b, "symhits=%d\n", res.Cover.SymmetryHits)
+		for _, name := range res.Cover.ActionNames() {
+			a := res.Cover.Actions[name]
+			if a == nil {
+				fmt.Fprintf(&b, "action %s never\n", name)
+				continue
+			}
+			fmt.Fprintf(&b, "action %s fired=%d first=%d", name, a.Fired, a.FirstDepth)
+			if coverMode == coverFull {
+				fmt.Fprintf(&b, " fresh=%d lastfresh=%d", a.Fresh, a.LastFreshDepth)
+			}
+			b.WriteString("\n")
+		}
+		for _, l := range res.Cover.Levels {
+			fmt.Fprintf(&b, "level %d frontier=%d fresh=%d trans=%d dedup=%d viols=%d\n",
+				l.Depth, l.Frontier, l.Fresh, l.Transitions, l.Dedup, l.Violations)
+		}
+	}
+	return b.String()
+}
+
+// traceSig canonicalises the reconstructed counterexample traces.
+func traceSig(res *Result) string {
+	var b strings.Builder
+	for _, v := range res.Violations {
+		if v.Trace == nil {
+			b.WriteString("trace: nil\n")
+			continue
+		}
+		b.WriteString("trace:")
+		for _, s := range v.Trace.Steps {
+			fmt.Fprintf(&b, " %s/%d@%#x", s.Event.Action, s.Event.Node, s.Fingerprint)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// runClusterPeers runs one checker per peer over an in-process mesh (real
+// wire encoding, separate machine instances) and returns the per-peer
+// results in peer order. wrap, when non-nil, can interpose on a peer's Conn
+// (failure injection).
+func runClusterPeers(peers int, opts func(i int) Options, wrap func(i int, c transport.Conn) transport.Conn) []*Result {
+	conns := transport.NewMesh(peers)
+	results := make([]*Result, peers)
+	var wg sync.WaitGroup
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn := conns[i]
+			if wrap != nil {
+				conn = wrap(i, conn)
+			}
+			o := opts(i)
+			o.Peer = &PeerOptions{Conn: conn}
+			results[i] = NewChecker(eqOrBug(o), o).Run()
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// eqOrBug picks the machine for the run: the options carry a marker in
+// Checkpoint.Label ("bug" → bugMachine) so runClusterPeers stays generic.
+func eqOrBug(o Options) spec.Machine {
+	if strings.HasPrefix(o.Checkpoint.Label, "bug") {
+		return bugMachine()
+	}
+	return eqMachine()
+}
+
+func TestClusterEquivalenceExhaustive(t *testing.T) {
+	// Canonical reference: single-process W=1. W>1 single-process runs must
+	// match it on every worker-count-deterministic dimension (coverTotals).
+	refRes := NewChecker(eqMachine(), Options{Workers: 1, Cover: true}).Run()
+	if refRes.Err != nil {
+		t.Fatalf("single-process w=1: %v", refRes.Err)
+	}
+	ref, refTotals := clusterSig(refRes, coverFull), clusterSig(refRes, coverTotals)
+	if !strings.Contains(ref, "stop=exhausted") {
+		t.Fatalf("reference run not exhaustive:\n%s", ref)
+	}
+	for _, w := range []int{2, 4} {
+		res := NewChecker(eqMachine(), Options{Workers: w, Cover: true}).Run()
+		if sig := clusterSig(res, coverTotals); sig != refTotals {
+			t.Fatalf("single-process signature differs at w=%d:\n%s\nvs\n%s", w, sig, refTotals)
+		}
+	}
+	// Cluster runs reproduce the full canonical profile — including the
+	// per-action fresh split — at every peer count and worker count.
+	for _, peers := range []int{1, 2, 3} {
+		for _, w := range []int{1, 2} {
+			results := runClusterPeers(peers, func(int) Options {
+				return Options{Workers: w, Cover: true, Checkpoint: CheckpointOptions{Label: "eq"}}
+			}, nil)
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatalf("p=%d w=%d peer %d: %v (stop=%s)", peers, w, i, res.Err, res.StopReason)
+				}
+				if sig := clusterSig(res, coverFull); sig != ref {
+					t.Errorf("p=%d w=%d peer %d signature differs:\n%s\nwant:\n%s", peers, w, i, sig, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestClusterEquivalenceViolation(t *testing.T) {
+	ref := NewChecker(bugMachine(), Options{Workers: 1, Cover: true, StopAtFirstViolation: true, Checkpoint: CheckpointOptions{Label: "bug"}}).Run()
+	if ref.StopReason != "violation" || len(ref.Violations) == 0 {
+		t.Fatalf("reference run found no violation: stop=%s", ref.StopReason)
+	}
+	refSig, refTraces := clusterSig(ref, coverFull), traceSig(ref)
+	if strings.Contains(refTraces, "nil") {
+		t.Fatalf("reference traces incomplete:\n%s", refTraces)
+	}
+	// bugMachine reaches the same state through different actions within one
+	// level, so a W=2 single-process run matches only up to the per-action
+	// fresh attribution race (see coverTotals).
+	w2 := NewChecker(bugMachine(), Options{Workers: 2, Cover: true, StopAtFirstViolation: true, Checkpoint: CheckpointOptions{Label: "bug"}}).Run()
+	if sig := clusterSig(w2, coverTotals); sig != clusterSig(ref, coverTotals) {
+		t.Fatalf("single-process w=2 signature differs:\n%s\nvs\n%s", sig, clusterSig(ref, coverTotals))
+	}
+	for _, peers := range []int{2, 3} {
+		results := runClusterPeers(peers, func(int) Options {
+			return Options{Workers: 2, Cover: true, StopAtFirstViolation: true, Checkpoint: CheckpointOptions{Label: "bug"}}
+		}, nil)
+		for i, res := range results {
+			if res.Err != nil {
+				t.Fatalf("p=%d peer %d: %v", peers, i, res.Err)
+			}
+			if sig := clusterSig(res, coverFull); sig != refSig {
+				t.Errorf("p=%d peer %d signature differs:\n%s\nwant:\n%s", peers, i, sig, refSig)
+			}
+		}
+		// Only the coordinator reconstructs traces (it probes the other
+		// shards for parent edges); they must match single-process exactly.
+		if got := traceSig(results[0]); got != refTraces {
+			t.Errorf("p=%d coordinator traces differ:\n%s\nwant:\n%s", peers, got, refTraces)
+		}
+	}
+}
+
+// flakyConn fails every Exchange at or past failAt and closes the underlying
+// mesh endpoint, which propagates a transport error to every other peer
+// blocked on the barrier — the closest in-process analogue of a peer crash.
+type flakyConn struct {
+	transport.Conn
+	failAt uint64
+}
+
+func (f *flakyConn) Exchange(tag uint64, blocks [][]byte, summary []byte) ([][]byte, [][]byte, error) {
+	if tag >= f.failAt {
+		f.Conn.Close()
+		return nil, nil, errors.New("injected peer failure")
+	}
+	return f.Conn.Exchange(tag, blocks, summary)
+}
+
+func TestClusterKillAndResume(t *testing.T) {
+	ref := NewChecker(eqMachine(), Options{Workers: 2}).Run()
+	refSig := clusterSig(ref, coverNone)
+
+	dir := t.TempDir()
+	// Leg 1: 3-peer run checkpointing every level; peer 1 dies at barrier
+	// tag 12 (hello + depth-0 resolve + 5 levels in).
+	results := runClusterPeers(3, func(int) Options {
+		return Options{Workers: 2, Checkpoint: CheckpointOptions{Dir: dir, EveryStates: 1, Label: "eq"}}
+	}, func(i int, c transport.Conn) transport.Conn {
+		if i == 1 {
+			return &flakyConn{Conn: c, failAt: 12}
+		}
+		return c
+	})
+	for i, res := range results {
+		if res.Err == nil {
+			t.Fatalf("peer %d survived the injected crash (stop=%s)", i, res.StopReason)
+		}
+		if res.StopReason != "transport-error" {
+			t.Errorf("peer %d stop=%s, want transport-error (%v)", i, res.StopReason, res.Err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, clusterManifestFile)); err != nil {
+		t.Fatalf("no committed manifest after crash: %v", err)
+	}
+
+	// Leg 2: a fresh 3-peer cluster resumes from the manifest and must land
+	// on the reference result. Coverage is excluded: a resumed session
+	// profiles only its own levels by design.
+	results = runClusterPeers(3, func(int) Options {
+		return Options{Workers: 2, Checkpoint: CheckpointOptions{Dir: dir, EveryStates: 1, Label: "eq", Resume: true}}
+	}, nil)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("resumed peer %d: %v (stop=%s)", i, res.Err, res.StopReason)
+		}
+		if !res.Resumed {
+			t.Errorf("peer %d did not resume from the manifest", i)
+		}
+		if sig := clusterSig(res, coverNone); sig != refSig {
+			t.Errorf("resumed peer %d signature differs:\n%s\nwant:\n%s", i, sig, refSig)
+		}
+	}
+}
+
+// noCodec strips every optional capability off a machine, leaving the bare
+// spec.Machine interface.
+type noCodec struct{ spec.Machine }
+
+func TestClusterConfigErrors(t *testing.T) {
+	// A machine without a StateCodec cannot join a cluster.
+	res := NewChecker(noCodec{newToy(3, false)}, Options{Peer: &PeerOptions{Conn: transport.NewMesh(1)[0]}}).Run()
+	if res.StopReason != "config-error" || res.Err == nil {
+		t.Fatalf("toy machine: stop=%s err=%v, want config-error", res.StopReason, res.Err)
+	}
+	// MemBudget is incompatible with distributed runs.
+	res = NewChecker(eqMachine(), Options{MemBudget: 1 << 20, Peer: &PeerOptions{Conn: transport.NewMesh(1)[0]}}).Run()
+	if res.StopReason != "config-error" || res.Err == nil {
+		t.Fatalf("mem-budget: stop=%s err=%v, want config-error", res.StopReason, res.Err)
+	}
+}

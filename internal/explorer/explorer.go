@@ -66,8 +66,11 @@ type Options struct {
 	// cumulative run.
 	Deadline time.Duration
 	// StopAtFirstViolation halts at the first invariant violation (the
-	// default SandTable workflow: confirm one bug, fix, re-run). When false
-	// the checker records every violating state but keeps exploring.
+	// default SandTable workflow: confirm one bug, fix, re-run). The stop is
+	// level-granular: the level that found the violation completes before
+	// the run ends, so the reported counters cover whole levels and are
+	// identical at every worker count and cluster size. When false the
+	// checker records every violating state but keeps exploring.
 	StopAtFirstViolation bool
 	// RecordVars includes rendered variable maps in counterexample traces
 	// (needed for conformance checking and replay; costs time).
@@ -94,6 +97,14 @@ type Options struct {
 	// Checkpoint configures periodic exploration snapshots and resume; the
 	// zero value disables both. See CheckpointOptions.
 	Checkpoint CheckpointOptions
+
+	// Peer, when non-nil, runs this checker as one peer of a distributed
+	// exploration: the fingerprint space is partitioned across
+	// Peer.Conn.Peers() processes by transport.Owner, and peers exchange
+	// candidate successors at level barriers. Requires the machine to
+	// implement spec.StateCodec and spec.ActionLister; incompatible with
+	// MemBudget. See cluster.go for the determinism argument.
+	Peer *PeerOptions
 
 	// Progress, when set, receives TLC-style periodic progress snapshots
 	// during the run (distinct states, frontier size, throughput). The
@@ -236,6 +247,10 @@ type Checker struct {
 	// ckChain carries the committed checkpoint chain a resume loaded, so
 	// the run's checkpointer keeps appending deltas to it.
 	ckChain *ckChainState
+
+	// cluster is the distributed-run context (nil for single-process runs);
+	// see cluster.go.
+	cluster *clusterCtx
 }
 
 // NewChecker builds a checker for machine m.
@@ -404,6 +419,9 @@ func (o *Options) newReporter() *obs.Reporter {
 
 // Run performs the breadth-first search and returns the result.
 func (c *Checker) Run() *Result {
+	if c.opts.Peer != nil && c.opts.Peer.Conn != nil {
+		return c.runCluster()
+	}
 	start := time.Now()
 	res := &Result{}
 	workers := c.opts.Workers
@@ -587,9 +605,6 @@ func (c *Checker) Run() *Result {
 				DedupHits:      res.DedupHits,
 				Depth:          depth,
 			})
-			if c.opts.StopAtFirstViolation && len(levelViolations) > 0 {
-				return true
-			}
 			if c.opts.MaxStates > 0 && res.DistinctStates >= c.opts.MaxStates {
 				return true
 			}
@@ -743,6 +758,9 @@ type chunkOut struct {
 	dedup int64
 	viols []*Violation
 	goal  bool
+	// cands accumulates cluster-mode candidate successors (see cluster.go);
+	// unused in single-process runs.
+	cands []clusterCand
 }
 
 // expandWorker is one member of the persistent expansion pool. Its scratch
@@ -817,7 +835,7 @@ func (p *expandPool) close() {
 func (p *expandPool) expand(entries []frontierEntry, depth int) {
 	workers := len(p.ws)
 	if workers == 1 || len(entries) < 2*workers {
-		p.ws[0].expandChunk(p, entries, depth)
+		p.ws[0].expandChunkAny(p, entries, depth)
 		return
 	}
 	job := &expandJob{entries: entries, depth: depth, chunk: chunkSize(len(entries), workers)}
@@ -869,7 +887,17 @@ func (w *expandWorker) run(p *expandPool, job *expandJob) {
 		if lo >= len(job.entries) {
 			return
 		}
-		w.expandChunk(p, job.entries[lo:min(end, len(job.entries))], job.depth)
+		w.expandChunkAny(p, job.entries[lo:min(end, len(job.entries))], job.depth)
+	}
+}
+
+// expandChunkAny dispatches a sub-chunk to the single-process or cluster
+// expansion path.
+func (w *expandWorker) expandChunkAny(p *expandPool, entries []frontierEntry, depth int) {
+	if w.c.cluster != nil {
+		w.expandChunkCluster(entries, depth)
+	} else {
+		w.expandChunk(p, entries, depth)
 	}
 }
 

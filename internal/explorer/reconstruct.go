@@ -20,7 +20,7 @@ func (c *Checker) reconstruct(v *Violation) *trace.Trace {
 	var chain []uint64
 	fp := v.fp
 	for {
-		e, ok := c.visited.Lookup(fp)
+		e, ok := c.lookupEdge(fp)
 		if !ok {
 			return nil
 		}

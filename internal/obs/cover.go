@@ -242,6 +242,54 @@ func (c *Cover) MergeWorker(w *WorkerCover) {
 	}
 }
 
+// Merge folds another run-level profile into c — the cross-peer aggregation
+// step of a distributed run, where every peer profiles its own share of the
+// state space and the final barrier sums the shares. Per-depth level rows are
+// matched by depth and their counters added; action cells sum Fired/Fresh,
+// take the earliest FirstDepth and the deepest LastFreshDepth. Call only
+// after both profiles are quiescent. Nil-safe on both sides.
+func (c *Cover) Merge(o *Cover) {
+	if c == nil || o == nil {
+		return
+	}
+	c.SymmetryHits += o.SymmetryHits
+	for name, oa := range o.Actions {
+		if oa.Fired == 0 {
+			continue
+		}
+		a := c.action(name)
+		a.Fired += oa.Fired
+		a.Fresh += oa.Fresh
+		if oa.FirstDepth >= 0 && (a.FirstDepth < 0 || oa.FirstDepth < a.FirstDepth) {
+			a.FirstDepth = oa.FirstDepth
+		}
+		if oa.LastFreshDepth > a.LastFreshDepth {
+			a.LastFreshDepth = oa.LastFreshDepth
+		}
+	}
+	byDepth := make(map[int]int, len(c.Levels))
+	for i := range c.Levels {
+		byDepth[c.Levels[i].Depth] = i
+	}
+	for _, ol := range o.Levels {
+		i, ok := byDepth[ol.Depth]
+		if !ok {
+			byDepth[ol.Depth] = len(c.Levels)
+			c.Levels = append(c.Levels, ol)
+			continue
+		}
+		l := &c.Levels[i]
+		l.Frontier += ol.Frontier
+		l.Fresh += ol.Fresh
+		l.Transitions += ol.Transitions
+		l.Dedup += ol.Dedup
+		l.Violations += ol.Violations
+		l.FpsetProbes += ol.FpsetProbes
+		l.Checkpoint = l.Checkpoint || ol.Checkpoint
+	}
+	sort.Slice(c.Levels, func(i, j int) bool { return c.Levels[i].Depth < c.Levels[j].Depth })
+}
+
 // WorkerCover is one expansion worker's private coverage accumulator. All
 // methods are single-goroutine (the owning worker between barriers, the
 // merge loop at barriers); no atomics are needed because the explorer's

@@ -93,6 +93,7 @@ func Render(w io.Writer, d *Data) error {
 	}
 	renderSummary(b, d)
 	renderMemory(b, d)
+	renderCluster(b, d)
 	renderCoverage(b, d.Cover)
 	renderDepthProfile(b, d.Cover)
 	renderTimeline(b, d.Events)
@@ -252,6 +253,46 @@ func renderMemory(b *strings.Builder, d *Data) {
 	}
 	if ckErrors > 0 {
 		row("**checkpoint write failures**", fmt.Sprintf("%.0f", ckErrors))
+	}
+}
+
+// renderCluster emits the "Cluster" section when the run was one peer of
+// a distributed exploration (the transport.peers gauge is set): which
+// shard this snapshot describes, how much frontier crossed the wire, how
+// long this peer waited at level barriers, and what remote edge probes
+// (trace reconstruction) cost. Silent for single-process runs.
+func renderCluster(b *strings.Builder, d *Data) {
+	peers, ok := metricNum(d.Metrics, "transport.peers")
+	if !ok || peers <= 0 {
+		return
+	}
+	fmt.Fprintf(b, "\n## Cluster\n\n| metric | value |\n|---|---|\n")
+	row := func(label, val string) { fmt.Fprintf(b, "| %s | %s |\n", label, val) }
+	if id, ok := metricNum(d.Metrics, "transport.peer_id"); ok {
+		role := ""
+		if id == 0 {
+			role = " (coordinator)"
+		}
+		row("peer", fmt.Sprintf("%.0f of %.0f%s", id, peers, role))
+	}
+	if n, ok := metricNum(d.Metrics, "transport.barriers"); ok {
+		row("level barriers", fmt.Sprintf("%.0f", n))
+	}
+	sent, _ := metricNum(d.Metrics, "transport.blocks_sent")
+	recv, _ := metricNum(d.Metrics, "transport.blocks_recv")
+	row("frontier blocks sent / received", fmt.Sprintf("%.0f / %.0f", sent, recv))
+	bsent, _ := metricNum(d.Metrics, "transport.bytes_sent")
+	brecv, _ := metricNum(d.Metrics, "transport.bytes_recv")
+	row("wire bytes sent / received", fmt.Sprintf("%s / %s", formatBytes(bsent), formatBytes(brecv)))
+	if ns, ok := metricNum(d.Metrics, "transport.stall_ns"); ok && ns > 0 {
+		row("time waiting at barriers", fmt.Sprintf("%.3fs", ns/1e9))
+	}
+	if n, ok := metricNum(d.Metrics, "transport.probes"); ok && n > 0 {
+		row("remote edge probes", fmt.Sprintf("%.0f", n))
+		if p50, ok := metricNum(d.Metrics, "transport.probe_latency_us.p50"); ok {
+			p99, _ := metricNum(d.Metrics, "transport.probe_latency_us.p99")
+			row("probe latency p50 / p99", fmt.Sprintf("%.0fµs / %.0fµs", p50, p99))
+		}
 	}
 }
 

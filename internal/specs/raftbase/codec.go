@@ -1,0 +1,373 @@
+package raftbase
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/sandtable-go/sandtable/internal/spec"
+)
+
+// spec.StateCodec for the Raft-family states: a compact varint encoding that
+// lets frontiers spill to disk (explorer -mem-budget) and travel between
+// cluster peers. The machine's instantiation constants (node count, feature
+// flags, durability) are NOT encoded — they are re-derived from the decoding
+// machine's options, so an encoding is only meaningful to a machine built
+// with the same Options, which is exactly the contract the explorer's
+// checkpoint/cluster compatibility digests enforce.
+//
+// The encoding preserves nil-ness of the per-node Votes/PreVotes/Next/Match
+// rows (a 0 marker for nil, len+1 otherwise): fingerprints and rendering
+// treat nil and empty alike, but permute branches on nil-ness, so a decoded
+// state must round-trip it exactly. Log rows, channel queues, and Committed
+// only ever exist as nil-or-nonempty (see clone), so a plain length suffices.
+
+// msgTypes maps the Msg.Type vocabulary to wire codes; index = code.
+var msgTypes = []string{"rv", "rvr", "ae", "aer", "snap"}
+
+func msgTypeCode(t string) (byte, bool) {
+	for i, s := range msgTypes {
+		if s == t {
+			return byte(i), true
+		}
+	}
+	return 0, false
+}
+
+// AppendState implements spec.StateCodec.
+func (m *Machine) AppendState(dst []byte, st spec.State) []byte {
+	s := st.(*State)
+	n := s.n
+	vi := func(v int) { dst = binary.AppendVarint(dst, int64(v)) }
+	vb := func(b bool) {
+		if b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	vs := func(str string) {
+		dst = binary.AppendUvarint(dst, uint64(len(str)))
+		dst = append(dst, str...)
+	}
+	entries := func(es []Entry) {
+		dst = binary.AppendUvarint(dst, uint64(len(es)))
+		for _, e := range es {
+			vi(e.Term)
+			vs(e.Value)
+		}
+	}
+	boolRow := func(row []bool) {
+		if row == nil {
+			dst = append(dst, 0)
+			return
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(row))+1)
+		for _, b := range row {
+			vb(b)
+		}
+	}
+	intRow := func(row []int) {
+		if row == nil {
+			dst = append(dst, 0)
+			return
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(row))+1)
+		for _, v := range row {
+			vi(v)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		vi(s.Role[i])
+		vi(s.Term[i])
+		vi(s.VotedFor[i])
+		vi(s.Commit[i])
+		vi(s.SnapIdx[i])
+		vi(s.SnapTerm[i])
+		vi(s.DurTerm[i])
+		vi(s.DurVote[i])
+		vb(s.Up[i])
+	}
+	for i := 0; i < n; i++ {
+		entries(s.Log[i])
+		entries(s.DurLog[i])
+		boolRow(s.Votes[i])
+		boolRow(s.PreVotes[i])
+		intRow(s.Next[i])
+		intRow(s.Match[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			vb(s.Cut[i][j])
+			vb(s.Part[i][j])
+			q := s.Chan[i][j]
+			dst = binary.AppendUvarint(dst, uint64(len(q)))
+			for k := range q {
+				msg := &q[k]
+				code, ok := msgTypeCode(msg.Type)
+				if !ok {
+					// Unreachable with the current action set; a loud
+					// sentinel beats silent corruption if a new message
+					// kind is ever added without extending msgTypes.
+					panic(fmt.Sprintf("raftbase: unencodable message type %q", msg.Type))
+				}
+				dst = append(dst, code)
+				vi(msg.Term)
+				vi(msg.LastIndex)
+				vi(msg.LastTerm)
+				vb(msg.Pre)
+				vb(msg.Granted)
+				vi(msg.PrevIndex)
+				vi(msg.PrevTerm)
+				entries(msg.Entries)
+				vi(msg.Commit)
+				vb(msg.Flag)
+				vi(msg.NextIndex)
+				vb(msg.Retry)
+				vi(msg.SnapIndex)
+				vi(msg.SnapTerm)
+			}
+		}
+	}
+	entries(s.Committed)
+	vb(s.SnapConflictInstall)
+	vi(s.LastReadNode)
+	vs(s.LastReadKey)
+	vs(s.LastReadVal)
+	vs(s.LastReadWant)
+	vb(s.LastReadBad)
+	// spec.Counters, field by field (keep in sync with Counters.Hash).
+	c := &s.Counters
+	vi(c.Timeouts)
+	vi(c.Crashes)
+	vi(c.Restarts)
+	vi(c.Requests)
+	vi(c.Partitions)
+	vi(c.Drops)
+	vi(c.Duplicates)
+	vi(c.Compactions)
+	vi(c.DirtyCrashes)
+	vs(s.Viol.Flag)
+	return dst
+}
+
+// stateDecoder walks one encoded state; the first error sticks and every
+// subsequent read returns zero values, so call sites stay linear.
+type stateDecoder struct {
+	src []byte
+	err error
+}
+
+func (d *stateDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("raftbase: decode state: truncated %s", what)
+	}
+}
+
+func (d *stateDecoder) int(what string) int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.src)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.src = d.src[n:]
+	return int(v)
+}
+
+func (d *stateDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.src)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.src = d.src[n:]
+	return v
+}
+
+func (d *stateDecoder) bool(what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.src) == 0 {
+		d.fail(what)
+		return false
+	}
+	b := d.src[0]
+	d.src = d.src[1:]
+	return b != 0
+}
+
+func (d *stateDecoder) str(what string) string {
+	ln := d.uvarint(what)
+	if d.err != nil {
+		return ""
+	}
+	if ln > uint64(len(d.src)) {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.src[:ln])
+	d.src = d.src[ln:]
+	return s
+}
+
+func (d *stateDecoder) entries(what string) []Entry {
+	ln := d.uvarint(what)
+	if d.err != nil || ln == 0 {
+		return nil
+	}
+	if ln > uint64(len(d.src)) {
+		d.fail(what)
+		return nil
+	}
+	es := make([]Entry, ln)
+	for i := range es {
+		es[i].Term = d.int(what)
+		es[i].Value = d.str(what)
+	}
+	if d.err != nil {
+		return nil
+	}
+	return es
+}
+
+func (d *stateDecoder) boolRow(what string) []bool {
+	code := d.uvarint(what)
+	if d.err != nil || code == 0 {
+		return nil
+	}
+	ln := code - 1
+	if ln > uint64(len(d.src)) {
+		d.fail(what)
+		return nil
+	}
+	row := make([]bool, ln)
+	for i := range row {
+		row[i] = d.bool(what)
+	}
+	return row
+}
+
+func (d *stateDecoder) intRow(what string) []int {
+	code := d.uvarint(what)
+	if d.err != nil || code == 0 {
+		return nil
+	}
+	ln := code - 1
+	if ln > uint64(len(d.src)) {
+		d.fail(what)
+		return nil
+	}
+	row := make([]int, ln)
+	for i := range row {
+		row[i] = d.int(what)
+	}
+	return row
+}
+
+// DecodeState implements spec.StateCodec.
+func (m *Machine) DecodeState(src []byte) (spec.State, []byte, error) {
+	n := m.n
+	s := newState(n)
+	s.snapshots = m.opt.Snapshots
+	s.kv = m.opt.KV
+	s.durability = m.opt.Budget.MaxDirtyCrashes > 0
+	d := &stateDecoder{src: src}
+
+	for i := 0; i < n; i++ {
+		s.Role[i] = d.int("role")
+		s.Term[i] = d.int("term")
+		s.VotedFor[i] = d.int("votedFor")
+		s.Commit[i] = d.int("commit")
+		s.SnapIdx[i] = d.int("snapIdx")
+		s.SnapTerm[i] = d.int("snapTerm")
+		s.DurTerm[i] = d.int("durTerm")
+		s.DurVote[i] = d.int("durVote")
+		s.Up[i] = d.bool("up")
+	}
+	for i := 0; i < n; i++ {
+		s.Log[i] = d.entries("log")
+		s.DurLog[i] = d.entries("durLog")
+		s.Votes[i] = d.boolRow("votes")
+		s.PreVotes[i] = d.boolRow("preVotes")
+		s.Next[i] = d.intRow("next")
+		s.Match[i] = d.intRow("match")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.Cut[i][j] = d.bool("cut")
+			s.Part[i][j] = d.bool("part")
+			qn := d.uvarint("chan")
+			if d.err != nil {
+				break
+			}
+			if qn > uint64(len(d.src)) {
+				d.fail("chan")
+				break
+			}
+			if qn == 0 {
+				continue
+			}
+			q := make([]Msg, qn)
+			for k := range q {
+				msg := &q[k]
+				if len(d.src) == 0 {
+					d.fail("msg type")
+					break
+				}
+				code := d.src[0]
+				d.src = d.src[1:]
+				if int(code) >= len(msgTypes) {
+					if d.err == nil {
+						d.err = fmt.Errorf("raftbase: decode state: unknown message type code %d", code)
+					}
+					break
+				}
+				msg.Type = msgTypes[code]
+				msg.Term = d.int("msg term")
+				msg.LastIndex = d.int("msg lastIndex")
+				msg.LastTerm = d.int("msg lastTerm")
+				msg.Pre = d.bool("msg pre")
+				msg.Granted = d.bool("msg granted")
+				msg.PrevIndex = d.int("msg prevIndex")
+				msg.PrevTerm = d.int("msg prevTerm")
+				msg.Entries = d.entries("msg entries")
+				msg.Commit = d.int("msg commit")
+				msg.Flag = d.bool("msg flag")
+				msg.NextIndex = d.int("msg nextIndex")
+				msg.Retry = d.bool("msg retry")
+				msg.SnapIndex = d.int("msg snapIndex")
+				msg.SnapTerm = d.int("msg snapTerm")
+			}
+			s.Chan[i][j] = q
+		}
+	}
+	s.Committed = d.entries("committed")
+	s.SnapConflictInstall = d.bool("snapConflictInstall")
+	s.LastReadNode = d.int("lastReadNode")
+	s.LastReadKey = d.str("lastReadKey")
+	s.LastReadVal = d.str("lastReadVal")
+	s.LastReadWant = d.str("lastReadWant")
+	s.LastReadBad = d.bool("lastReadBad")
+	c := &s.Counters
+	c.Timeouts = d.int("timeouts")
+	c.Crashes = d.int("crashes")
+	c.Restarts = d.int("restarts")
+	c.Requests = d.int("requests")
+	c.Partitions = d.int("partitions")
+	c.Drops = d.int("drops")
+	c.Duplicates = d.int("duplicates")
+	c.Compactions = d.int("compactions")
+	c.DirtyCrashes = d.int("dirtyCrashes")
+	s.Viol.Flag = d.str("violation")
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return s, d.src, nil
+}

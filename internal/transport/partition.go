@@ -1,0 +1,59 @@
+package transport
+
+// PartitionVersion identifies the fingerprint-space partition function. It
+// is carried in cluster hello summaries and checkpoint manifests: peers (and
+// resumed runs) built with a different partition function must not merge,
+// because ownership of every fingerprint would silently change. Bump it
+// whenever Owner's mapping changes.
+const PartitionVersion = 1
+
+// Owner maps a fingerprint to the peer that owns it: the fingerprint is
+// remixed through Mix64 and the mixed value's top 32 bits select one of
+// peers contiguous range slices.
+//
+// The remix is load-bearing. Canonical fingerprints are not uniform:
+// under symmetry reduction each stored fingerprint is the minimum of its
+// orbit's hashes, and the minimum of k uniform draws is biased low — with
+// two symmetric nodes, 75% of canonical fingerprints land in the bottom
+// half of the raw space, so a raw prefix partition would give peer 0
+// three times peer 1's share. Mix64 is a bijection, so ownership stays
+// deterministic and disjoint, while the mixed values are uniform and the
+// slices balanced regardless of symmetry-group size.
+func Owner(fp uint64, peers int) int {
+	if peers <= 1 {
+		return 0
+	}
+	return int((Mix64(fp) >> 32) * uint64(peers) >> 32)
+}
+
+// Mix64 is the 64-bit finalizer from MurmurHash3 (fmix64): an invertible
+// avalanche permutation of the fingerprint space. Owner partitions on the
+// mixed value; it is exported so tooling can map a raw fingerprint into
+// the partitioned space when reasoning about Range intervals.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Range returns peer's owned interval [lo, hi) of the mixed fingerprint
+// space; hi is 0 for the last peer, meaning "through the top of the
+// space" (the interval is [lo, 2^64)). For every fp, Owner(fp, peers) ==
+// p iff Range(p, peers) contains Mix64(fp).
+func Range(peer, peers int) (lo, hi uint64) {
+	if peers <= 1 {
+		return 0, 0
+	}
+	// Smallest 32-bit prefix q with q*peers>>32 == peer is
+	// ceil(peer<<32 / peers).
+	lo32 := (uint64(peer)<<32 + uint64(peers) - 1) / uint64(peers)
+	lo = lo32 << 32
+	if peer == peers-1 {
+		return lo, 0
+	}
+	hi32 := (uint64(peer+1)<<32 + uint64(peers) - 1) / uint64(peers)
+	return lo, hi32 << 32
+}

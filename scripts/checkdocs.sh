@@ -6,8 +6,10 @@
 #   - `go vet` reports a problem,
 #   - an exported identifier in the audited packages (internal/fpset,
 #     internal/explorer, internal/ranking, internal/scenario,
-#     internal/shrink, internal/conformance) lacks a doc comment, or an
-#     audited package lacks a package doc comment,
+#     internal/shrink, internal/conformance, internal/transport) lacks a
+#     doc comment, or an audited package lacks a package doc comment,
+#   - a required operator document (README.md, ARCHITECTURE.md,
+#     OPERATIONS.md, EXPERIMENTS.md) is missing,
 #   - a relative link in any *.md file points at a missing file.
 set -eu
 cd "$(dirname "$0")/.."

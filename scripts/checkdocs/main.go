@@ -3,10 +3,14 @@
 //
 //  1. Every exported identifier in the audited packages (internal/fpset,
 //     internal/explorer, internal/ranking, internal/scenario,
-//     internal/shrink, internal/conformance) carries a doc comment, and
-//     every audited package has a package-level doc comment.
+//     internal/shrink, internal/conformance, internal/transport) carries
+//     a doc comment, and every audited package has a package-level doc
+//     comment.
 //  2. Every relative link in the repository's *.md files resolves to an
-//     existing file.
+//     existing file, and the operator-facing documents (README.md,
+//     ARCHITECTURE.md, OPERATIONS.md, EXPERIMENTS.md) exist — the link
+//     check only sees documents that are linked, so existence is asserted
+//     separately.
 //
 // It prints one line per problem and exits non-zero if any were found.
 package main
@@ -32,6 +36,18 @@ var auditedPackages = []string{
 	"internal/scenario",
 	"internal/shrink",
 	"internal/conformance",
+	"internal/transport",
+}
+
+// requiredDocs are the operator-facing documents that must exist at the
+// repository root. The relative-link walk can only validate links that
+// are written, so a deleted (or never-committed) document would pass
+// silently without this list.
+var requiredDocs = []string{
+	"README.md",
+	"ARCHITECTURE.md",
+	"OPERATIONS.md",
+	"EXPERIMENTS.md",
 }
 
 func main() {
@@ -42,6 +58,12 @@ func main() {
 	problems := 0
 	for _, pkg := range auditedPackages {
 		problems += checkPackageDocs(filepath.Join(root, pkg))
+	}
+	for _, doc := range requiredDocs {
+		if _, err := os.Stat(filepath.Join(root, doc)); err != nil {
+			fmt.Printf("%s: required document missing\n", doc)
+			problems++
+		}
 	}
 	problems += checkMarkdownLinks(root)
 	if problems > 0 {
