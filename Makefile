@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-conform fuzz docs checktrace soak cluster ci bench benchdiff clean
+.PHONY: all build vet test race race-conform fuzz docs checktrace soak cluster serve-smoke ci bench benchdiff clean
 
 all: ci
 
@@ -95,12 +95,40 @@ cluster:
 	cmp "$$tmp/ref-trace.json" "$$tmp/cluster-trace.json"; \
 	echo "cluster: 3-peer run matches single-process reference (counters, coverage, trace)"
 
+# serve-smoke proves checking-as-a-service end to end over real HTTP: a
+# `sandtable serve` daemon gets a violating craft job submitted by the
+# servesmoke client, which streams SSE progress + trace events to
+# completion and downloads the artifact set. checktrace validates both the
+# trace.jsonl artifact and the SSE-streamed events against the schema,
+# clustercmp asserts the job's result counters, stop decision, violation
+# set, and coverage profile match a CLI run with identical settings, and
+# cmp asserts the counterexample trace is byte-identical — an HTTP job and
+# a CLI invocation are the same check. Ports derive from the shell PID so
+# concurrent CI jobs don't collide.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); srv=""; \
+	trap 'test -n "$$srv" && kill $$srv 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/sandtable" ./cmd/sandtable; \
+	addr=127.0.0.1:$$((44100 + $$$$ % 2000)); \
+	"$$tmp/sandtable" check -system craft -nodes 3 -max-timeouts 2 -max-requests 1 \
+		-max-buffer 2 -deadline 120s -workers 1 \
+		-metrics-out "$$tmp/ref.json" -o "$$tmp/ref-trace.json" >/dev/null; \
+	"$$tmp/sandtable" serve -addr "$$addr" -artifacts "$$tmp/jobs" >/dev/null & srv=$$!; \
+	$(GO) run ./scripts/servesmoke -server "http://$$addr" -out "$$tmp/serve" \
+		-spec '{"op":"check","system":"craft","nodes":3,"max_timeouts":2,"max_requests":1,"max_buffer":2,"deadline":"120s","workers":1,"progress_every":"100ms"}'; \
+	kill $$srv; wait $$srv 2>/dev/null; srv=""; \
+	$(GO) run ./scripts/checktrace -metrics "$$tmp/serve/metrics.json" \
+		"$$tmp/serve/trace.jsonl" "$$tmp/serve/sse-trace.jsonl"; \
+	$(GO) run ./scripts/clustercmp -ref "$$tmp/ref.json" "$$tmp/serve/metrics.json"; \
+	cmp "$$tmp/ref-trace.json" "$$tmp/serve/trace.json"; \
+	echo "serve-smoke: HTTP job matches CLI reference (counters, coverage, trace)"
+
 # ci is the gate every change must pass: compile, static checks, the docs
 # gate, the full test suite under the race detector, the repeated race run
 # of the parallel conformance pool, a short fuzz smoke, the observability
-# artifact schema gate, the out-of-core soak, and the 3-process
-# distributed-equivalence gate.
-ci: build vet docs race race-conform fuzz checktrace soak cluster
+# artifact schema gate, the out-of-core soak, the 3-process
+# distributed-equivalence gate, and the checking-as-a-service smoke.
+ci: build vet docs race race-conform fuzz checktrace soak cluster serve-smoke
 
 # bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
 # (see scripts/bench.sh for the JSON shape).

@@ -10,6 +10,7 @@
 //	sandtable rank    -system xraft
 //	sandtable conform -system asyncraft -walks 500
 //	sandtable confirm -system gosyncobj -bug GoSyncObj#4
+//	sandtable serve   -addr localhost:8424 -artifacts ./jobs
 //	sandtable list
 package main
 
@@ -20,7 +21,6 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
@@ -63,6 +63,8 @@ func main() {
 		err = runReplay(args)
 	case "report":
 		err = runReport(args)
+	case "serve":
+		err = runServe(args)
 	case "list":
 		err = runList()
 	default:
@@ -76,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sandtable <check|simulate|rank|conform|confirm|replay|report|list> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: sandtable <check|simulate|rank|conform|confirm|replay|report|serve|list> [flags]`)
 }
 
 // commonFlags adds the session flags shared by all subcommands.
@@ -261,44 +263,6 @@ func (s *obsSession) close(result map[string]any) error {
 	return firstErr
 }
 
-// checkLabel identifies the model a snapshot belongs to —
-// system/config/budget plus the sorted defect set — so a checkpoint written
-// under one session setup refuses to resume under another.
-func checkLabel(st *sandtable.SandTable) string {
-	var bugs []string
-	for k, on := range st.SpecBugs {
-		if on {
-			bugs = append(bugs, string(k))
-		}
-	}
-	sort.Strings(bugs)
-	return fmt.Sprintf("%s/%s/%s/%s", st.Sys.Name, st.Config.Name, st.Budget.Name, strings.Join(bugs, ","))
-}
-
-// resultSummary renders an explorer result for the metrics JSON, echoing
-// the registry key names so downstream tooling reads one vocabulary.
-func resultSummary(res *explorer.Result) map[string]any {
-	out := map[string]any{
-		"distinct_states": res.DistinctStates,
-		"transitions":     res.Transitions,
-		"dedup_hits":      res.DedupHits,
-		"max_queue_len":   res.MaxQueueLen,
-		"max_depth":       res.MaxDepth,
-		"duration_ns":     res.Duration.Nanoseconds(),
-		"states_per_sec":  res.StatesPerSecond(),
-		"dedup_ratio":     res.DedupRatio(),
-		"stop_reason":     res.StopReason,
-		"exhausted":       res.Exhausted,
-		"violations":      len(res.Violations),
-		"resumed":         res.Resumed,
-		"checkpoints":     res.Checkpoints,
-	}
-	if v := res.FirstViolation(); v != nil {
-		out["first_violation"] = v.String()
-	}
-	return out
-}
-
 // shrinkTrace runs the ddmin minimizer over tr, printing the reduction
 // summary and merging the shrink counters into the metrics summary. On
 // failure (e.g. the trace does not reproduce under the oracle) it warns and
@@ -454,7 +418,7 @@ func runCheck(args []string) error {
 			Interval:    *ckEvery,
 			EveryStates: *ckStates,
 			Resume:      *resume,
-			Label:       checkLabel(st),
+			Label:       st.Label(),
 		}
 	}
 	opts.Progress = o.progress
@@ -467,7 +431,7 @@ func runCheck(args []string) error {
 		// flows; the handshake digest catches a peer launched with a
 		// different -system/-bug/-nodes/-fixed combination.
 		h := fnv.New64a()
-		io.WriteString(h, checkLabel(st))
+		io.WriteString(h, st.Label())
 		fmt.Fprintf(h, "|peers=%d", len(peerAddrs))
 		conn, err := transport.DialTCP(transport.TCPOptions{
 			Addrs:   peerAddrs,
@@ -490,7 +454,7 @@ func runCheck(args []string) error {
 	stopExplore()
 	o.cover = res.Cover
 	if res.Err != nil {
-		o.close(resultSummary(res))
+		o.close(res.Summary())
 		return res.Err
 	}
 
@@ -518,10 +482,10 @@ func runCheck(args []string) error {
 	v := res.FirstViolation()
 	if v == nil {
 		fmt.Println("no invariant violation found")
-		return o.close(resultSummary(res))
+		return o.close(res.Summary())
 	}
 	fmt.Printf("VIOLATION: %s at depth %d: %v\n", v.Invariant, v.Depth, v.Err)
-	summary := resultSummary(res)
+	summary := res.Summary()
 	if !coordinator {
 		// Only the coordinator reconstructs counterexample traces (the
 		// other peers served its remote edge probes and hold no trace).
@@ -775,7 +739,7 @@ func runConfirm(args []string) error {
 	res := st.Check(opts)
 	stopExplore()
 	o.cover = res.Cover
-	summary := resultSummary(res)
+	summary := res.Summary()
 	v := res.FirstViolation()
 	if v == nil {
 		o.close(summary)

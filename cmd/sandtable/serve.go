@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/sandtable-go/sandtable/internal/obs"
+	"github.com/sandtable-go/sandtable/internal/serve"
+)
+
+// runServe starts the checking service: an HTTP control plane (see
+// internal/serve) over the same pipeline the other subcommands drive.
+// It blocks until SIGINT/SIGTERM, then drains gracefully: in-flight HTTP
+// requests finish, running jobs are canceled at their next block boundary
+// (keeping their last checkpoint resumable), and queued jobs are marked
+// canceled.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8424", "HTTP listen address")
+	artifacts := fs.String("artifacts", "", "artifact root directory, one subdirectory per job (required)")
+	queueDepth := fs.Int("queue-depth", 16, "maximum queued (not yet running) jobs; beyond it submissions get 429")
+	slots := fs.Int("slots", 1, "jobs run concurrently")
+	workers := fs.Int("workers", 1, "default per-job BFS/replay workers when the job spec leaves workers unset")
+	maxJobStates := fs.Int("max-job-states", 0, "cap every job's distinct-state budget (0 = uncapped)")
+	defDeadline := fs.Duration("default-deadline", 2*time.Minute, "per-job wall-clock budget when the job spec leaves deadline unset")
+	maxDeadline := fs.Duration("max-job-deadline", 0, "cap every job's wall-clock budget (0 = uncapped)")
+	memBudget := fs.String("mem-budget", "", "default per-job memory budget (e.g. 8GiB); over budget the fingerprint set and frontier spill to disk (default: half of GOMEMLIMIT when that is set)")
+	pprofAddr := fs.String("pprof", "", "also serve net/http/pprof, expvar, and Prometheus /metrics on this address")
+	fs.Parse(args)
+
+	if *artifacts == "" {
+		return fmt.Errorf("serve: -artifacts <dir> is required")
+	}
+	budget, err := resolveMemBudget(*memBudget)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	reg := obs.NewRegistry()
+	srv, err := serve.New(serve.Options{
+		Dir:             *artifacts,
+		QueueDepth:      *queueDepth,
+		Slots:           *slots,
+		DefaultWorkers:  *workers,
+		MaxJobStates:    *maxJobStates,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+		MemBudget:       budget,
+		Registry:        reg,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer srv.Close()
+
+	if *pprofAddr != "" {
+		dbgAddr, stopPprof, err := obs.ServeDebug(*pprofAddr, reg)
+		if err != nil {
+			return fmt.Errorf("serve: pprof: %w", err)
+		}
+		defer stopPprof()
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof and /debug/vars on http://%s\n", dbgAddr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("serve: listening on http://%s (artifacts in %s, %d slot(s), queue depth %d)\n",
+		ln.Addr(), *artifacts, *slots, *queueDepth)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "serve: %s — draining (running jobs cancel at their next block boundary)\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		return nil
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return fmt.Errorf("serve: %w", err)
+	}
+}

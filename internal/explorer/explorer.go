@@ -28,6 +28,7 @@ package explorer
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -65,6 +66,14 @@ type Options struct {
 	// On a resumed run the deadline budgets the current session, not the
 	// cumulative run.
 	Deadline time.Duration
+	// Context, when non-nil, cancels the run cooperatively: cancellation is
+	// observed at expansion block boundaries (the same safepoints as
+	// MaxStates and Deadline) and ends the run with StopReason "canceled".
+	// A level cut short by cancellation is never snapshotted, so the last
+	// complete-level checkpoint stays valid and the run remains resumable.
+	// Ignored by distributed (Peer) runs, whose stop decisions must be
+	// cluster-global.
+	Context context.Context
 	// StopAtFirstViolation halts at the first invariant violation (the
 	// default SandTable workflow: confirm one bug, fix, re-run). The stop is
 	// level-granular: the level that found the violation completes before
@@ -177,8 +186,9 @@ type Result struct {
 	// Exhausted is true when the bounded state space was fully explored.
 	Exhausted bool
 	// StopReason explains why the run ended ("exhausted", "violation",
-	// "max-states", "deadline", "max-depth", "checkpoint-error",
-	// "spill-error" — a disk failure reading back a spilled frontier).
+	// "max-states", "deadline", "max-depth", "canceled" — Options.Context
+	// was canceled — "checkpoint-error", "spill-error" — a disk failure
+	// reading back a spilled frontier).
 	StopReason string
 	// Resumed reports whether the run continued from a snapshot.
 	Resumed bool
@@ -208,6 +218,31 @@ func (r *Result) DedupRatio() float64 {
 		return 0
 	}
 	return float64(r.DedupHits) / float64(r.Transitions)
+}
+
+// Summary renders the result as a flat map echoing the metrics-registry key
+// names — the vocabulary shared by the CLI's -metrics-out artifact, the
+// serve API's result.json, and the clustercmp signature comparison.
+func (r *Result) Summary() map[string]any {
+	out := map[string]any{
+		"distinct_states": r.DistinctStates,
+		"transitions":     r.Transitions,
+		"dedup_hits":      r.DedupHits,
+		"max_queue_len":   r.MaxQueueLen,
+		"max_depth":       r.MaxDepth,
+		"duration_ns":     r.Duration.Nanoseconds(),
+		"states_per_sec":  r.StatesPerSecond(),
+		"dedup_ratio":     r.DedupRatio(),
+		"stop_reason":     r.StopReason,
+		"exhausted":       r.Exhausted,
+		"violations":      len(r.Violations),
+		"resumed":         r.Resumed,
+		"checkpoints":     r.Checkpoints,
+	}
+	if v := r.FirstViolation(); v != nil {
+		out["first_violation"] = v.String()
+	}
+	return out
 }
 
 // FirstViolation returns the minimal-depth violation, or nil. Among
@@ -534,6 +569,10 @@ func (c *Checker) Run() *Result {
 	frontier = nil
 
 	for lf.size() > 0 {
+		if c.canceled() {
+			stop = "canceled"
+			break
+		}
 		if c.opts.StopAtFirstViolation && len(res.Violations) > 0 {
 			stop = "violation"
 			break
@@ -611,7 +650,7 @@ func (c *Checker) Run() *Result {
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				return true
 			}
-			return false
+			return c.canceled()
 		}
 
 		if lf.inRAM() {
@@ -710,6 +749,12 @@ func (c *Checker) Run() *Result {
 			res.Exhausted = true
 		}
 	}
+	if stop == "exhausted" && c.canceled() {
+		// A cancel that landed on the final block would otherwise read as a
+		// completed search; an interrupted run must never claim exhaustion.
+		stop = "canceled"
+		res.Exhausted = false
+	}
 	res.StopReason = stop
 	res.Duration = restoredElapsed + time.Since(start)
 
@@ -729,6 +774,12 @@ func (c *Checker) Run() *Result {
 		v.Trace = c.reconstruct(v)
 	}
 	return res
+}
+
+// canceled reports whether Options.Context has been canceled — the
+// cooperative stop signal checked at block and level boundaries.
+func (c *Checker) canceled() bool {
+	return c.opts.Context != nil && c.opts.Context.Err() != nil
 }
 
 func sortFrontier(fs []frontierEntry) {

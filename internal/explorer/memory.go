@@ -2,6 +2,7 @@ package explorer
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -181,6 +182,9 @@ func ParseByteSize(s string) (int64, error) {
 	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	if mult > 1 && n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("byte size %q overflows int64", s)
 	}
 	return n * mult, nil
 }

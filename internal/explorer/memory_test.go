@@ -30,6 +30,16 @@ func TestParseByteSize(t *testing.T) {
 		{"-1", 0, true},
 		{"abc", 0, true},
 		{"12XiB", 0, true},
+		// Overflow: n * mult must not wrap. 8EiB-1 is the largest
+		// representable size; one unit past MaxInt64/mult must be rejected,
+		// the exact quotient still accepted.
+		{"9000000000GiB", 0, true},
+		{"9007199254740992KiB", 0, true},             // MaxInt64/1024 + 1
+		{"9007199254740991KiB", 1<<63 - 1024, false}, // MaxInt64/1024, exact
+		{"8796093022208MiB", 0, true},                // MaxInt64/2^20 + 1
+		{"9223372036854775807", 1<<63 - 1, false},    // MaxInt64 plain bytes
+		{"9223372036854775807B", 1<<63 - 1, false},   // mult==1 never overflows
+		{"18446744073709551616", 0, true},            // past uint64 too
 	}
 	for _, c := range cases {
 		got, err := ParseByteSize(c.in)

@@ -1,6 +1,7 @@
 package explorer
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -25,6 +26,10 @@ type SimOptions struct {
 	// RecordVars includes per-step variable maps in the produced traces
 	// (required for conformance checking).
 	RecordVars bool
+	// Context, when non-nil, cancels a Walks loop cooperatively: it is
+	// checked between walks, and the returned slice holds only the walks
+	// completed before cancellation.
+	Context context.Context
 	// TrackDistinct deduplicates visited states across walks in a shared
 	// fingerprint set (internal/fpset — the same structure backing the BFS
 	// checker), so WalkStats.FreshStates and AggregateStats.DistinctStates
@@ -230,6 +235,10 @@ func (s *Simulator) Walks(n int) []*WalkResult {
 	out := make([]*WalkResult, n)
 	steps := int64(0)
 	for i := range out {
+		if s.opts.Context != nil && s.opts.Context.Err() != nil {
+			out = out[:i]
+			break
+		}
 		w := s.Walk(s.opts.Seed + int64(i))
 		out[i] = w
 		steps += int64(w.Stats.Depth)
@@ -264,7 +273,7 @@ func (s *Simulator) Walks(n int) []*WalkResult {
 		})
 	}
 	if s.opts.Progress != nil {
-		reporter.Emit(obs.Progress{DistinctStates: int(steps), Transitions: steps, Depth: n, Final: true})
+		reporter.Emit(obs.Progress{DistinctStates: int(steps), Transitions: steps, Depth: len(out), Final: true})
 	}
 	return out
 }

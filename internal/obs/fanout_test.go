@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFanoutReplayThenLive: a subscriber joining mid-stream sees every event
+// exactly once — the published prefix via replay, the rest via the channel.
+func TestFanoutReplayThenLive(t *testing.T) {
+	f := NewFanout(0)
+	for i := 0; i < 10; i++ {
+		f.Publish(Event{Seq: int64(i + 1), Layer: "obs", Kind: "x"})
+	}
+	replay, events, cancel := f.Subscribe(64)
+	defer cancel()
+	if len(replay) != 10 {
+		t.Fatalf("replay = %d events, want 10", len(replay))
+	}
+	for i := 10; i < 20; i++ {
+		f.Publish(Event{Seq: int64(i + 1), Layer: "obs", Kind: "x"})
+	}
+	f.Close()
+	var got []int64
+	for _, e := range replay {
+		got = append(got, e.Seq)
+	}
+	for e := range events {
+		got = append(got, e.Seq)
+	}
+	if len(got) != 20 {
+		t.Fatalf("saw %d events, want 20", len(got))
+	}
+	for i, seq := range got {
+		if seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d (duplicate or gap)", i, seq, i+1)
+		}
+	}
+	if f.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", f.Dropped())
+	}
+}
+
+// TestFanoutSlowSubscriberDrops: a subscriber that never drains loses events
+// without blocking Publish, and the loss is counted.
+func TestFanoutSlowSubscriberDrops(t *testing.T) {
+	f := NewFanout(1 << 16)
+	_, events, cancel := f.Subscribe(4)
+	defer cancel()
+	for i := 0; i < 100; i++ {
+		f.Publish(Event{Seq: int64(i + 1)})
+	}
+	if got := len(events); got != 4 {
+		t.Errorf("channel holds %d events, want 4", got)
+	}
+	if f.Dropped() != 96 {
+		t.Errorf("dropped = %d, want 96", f.Dropped())
+	}
+}
+
+// TestFanoutReplayEviction: the replay buffer is bounded; old events are
+// evicted and counted.
+func TestFanoutReplayEviction(t *testing.T) {
+	f := NewFanout(8)
+	for i := 0; i < 20; i++ {
+		f.Publish(Event{Seq: int64(i + 1)})
+	}
+	replay, _, cancel := f.Subscribe(1)
+	cancel()
+	if len(replay) != 8 {
+		t.Fatalf("replay = %d events, want 8", len(replay))
+	}
+	if replay[0].Seq != 13 || replay[7].Seq != 20 {
+		t.Errorf("replay window = [%d,%d], want [13,20]", replay[0].Seq, replay[7].Seq)
+	}
+	if f.Dropped() != 12 {
+		t.Errorf("dropped = %d, want 12", f.Dropped())
+	}
+}
+
+// TestFanoutCloseAndCancel: Close terminates consumers; cancel is idempotent
+// and safe after Close; a post-Close subscriber still gets the replay with
+// an already-closed channel; Publish after Close is a no-op.
+func TestFanoutCloseAndCancel(t *testing.T) {
+	f := NewFanout(0)
+	f.Publish(Event{Seq: 1})
+	_, events, cancel := f.Subscribe(1)
+	f.Close()
+	if _, ok := <-events; ok {
+		t.Errorf("subscriber channel not closed by Close")
+	}
+	cancel()
+	cancel()
+	f.Close()
+	f.Publish(Event{Seq: 2})
+	replay, late, _ := f.Subscribe(1)
+	if len(replay) != 1 || replay[0].Seq != 1 {
+		t.Errorf("post-Close replay = %v", replay)
+	}
+	if _, ok := <-late; ok {
+		t.Errorf("post-Close subscription channel is open")
+	}
+}
+
+// TestFanoutNil: a nil fan-out ignores every call.
+func TestFanoutNil(t *testing.T) {
+	var f *Fanout
+	f.Publish(Event{})
+	f.Close()
+	if f.Dropped() != 0 {
+		t.Errorf("nil Dropped != 0")
+	}
+}
+
+// TestFanoutConcurrent hammers publish/subscribe/cancel from many
+// goroutines; the race detector is the assertion.
+func TestFanoutConcurrent(t *testing.T) {
+	f := NewFanout(128)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Publish(Event{Seq: int64(p*500 + i + 1)})
+			}
+		}(p)
+	}
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replay, events, cancel := f.Subscribe(16)
+			_ = replay
+			for range 20 {
+				select {
+				case <-events:
+				default:
+				}
+			}
+			cancel()
+		}()
+	}
+	wg.Wait()
+	f.Close()
+}
+
+// TestTracerTee: every event emitted through the tracer also reaches the tee
+// with its sequence number and schema version already assigned.
+func TestTracerTee(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var teed []Event
+	tr.Tee(func(e Event) { teed = append(teed, e) })
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Layer: "obs", Kind: fmt.Sprintf("k%d", i), Node: -1})
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(teed) != 5 {
+		t.Fatalf("tee saw %d events, want 5", len(teed))
+	}
+	for i, e := range teed {
+		if e.Seq != int64(i+1) || e.V != TraceSchemaVersion {
+			t.Errorf("teed event %d: seq=%d v=%d", i, e.Seq, e.V)
+		}
+		if err := ValidateEvent(e); err != nil {
+			t.Errorf("teed event %d invalid: %v", i, err)
+		}
+	}
+	// Detaching the tee stops the callbacks.
+	tr.Tee(nil)
+	tr.Emit(Event{Layer: "obs", Kind: "after", Node: -1})
+	if len(teed) != 5 {
+		t.Errorf("tee saw %d events after detach, want 5", len(teed))
+	}
+}

@@ -48,6 +48,7 @@ type Tracer struct {
 	enc *json.Encoder
 	seq int64
 	err error
+	tee func(Event)
 }
 
 // NewTracer builds a tracer writing JSONL to w.
@@ -70,7 +71,24 @@ func (t *Tracer) Emit(e Event) {
 	t.seq++
 	e.Seq = t.seq
 	e.V = TraceSchemaVersion
+	if t.tee != nil {
+		t.tee(e)
+	}
 	t.err = t.enc.Encode(e)
+}
+
+// Tee registers fn to receive a copy of every event Emit writes, after its
+// sequence number is assigned — the hook a live subscriber fan-out (see
+// Fanout) attaches to without touching the JSONL artifact. fn runs under the
+// tracer lock and must not call back into the tracer or block. A nil fn
+// detaches the tee; no-op on a nil tracer.
+func (t *Tracer) Tee(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tee = fn
 }
 
 // Events returns the number of events emitted so far.

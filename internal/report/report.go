@@ -26,6 +26,10 @@ type Data struct {
 	// Source describes where the data came from (artifact paths or
 	// "in-memory run"), printed under the title.
 	Source string
+	// Note, when set, is printed emphasised under the source line — used by
+	// the serve API to mark a report rendered from a live registry snapshot
+	// of a still-running job as partial.
+	Note string
 	// Metrics is the decoded -metrics-out snapshot: counters, histogram
 	// quantiles, and the "result" summary map.
 	Metrics map[string]any
@@ -90,6 +94,9 @@ func Render(w io.Writer, d *Data) error {
 	fmt.Fprintf(b, "# %s\n", title)
 	if d.Source != "" {
 		fmt.Fprintf(b, "\nSource: `%s`\n", d.Source)
+	}
+	if d.Note != "" {
+		fmt.Fprintf(b, "\n*%s*\n", d.Note)
 	}
 	renderSummary(b, d)
 	renderMemory(b, d)

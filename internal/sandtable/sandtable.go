@@ -7,6 +7,8 @@ package sandtable
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"github.com/sandtable-go/sandtable/internal/bugdb"
 	"github.com/sandtable-go/sandtable/internal/conformance"
@@ -62,6 +64,21 @@ func New(sys *System, cfg spec.Config, b spec.Budget, bugs bugdb.Set) *SandTable
 // Machine instantiates the specification for this session.
 func (st *SandTable) Machine() spec.Machine {
 	return st.Sys.NewMachine(st.Config, st.Budget, st.SpecBugs)
+}
+
+// Label identifies the session's model — system/config/budget plus the
+// sorted enabled defect set. Checkpoints are stamped with it so a snapshot
+// written under one session setup refuses to resume under another, and
+// cluster handshakes digest it so mismatched peers refuse to form a mesh.
+func (st *SandTable) Label() string {
+	var bugs []string
+	for k, on := range st.SpecBugs {
+		if on {
+			bugs = append(bugs, string(k))
+		}
+	}
+	sort.Strings(bugs)
+	return fmt.Sprintf("%s/%s/%s/%s", st.Sys.Name, st.Config.Name, st.Budget.Name, strings.Join(bugs, ","))
 }
 
 // target builds the conformance target for this session.

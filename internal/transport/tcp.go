@@ -22,7 +22,10 @@ import (
 // peers pushing large blocks at each other cannot deadlock on full kernel
 // buffers. The per-link protocol is strictly sequential (each peer sends
 // exactly one block frame and one summary frame per barrier, in that
-// order), so no demultiplexer is needed.
+// order), so no demultiplexer is needed. Every barrier and probe round is
+// deadline-bounded by TCPOptions.Timeout, so a peer that stops reading or
+// writing mid-barrier fails the round with a transport error instead of
+// hanging the cluster.
 
 // TCPOptions configures DialTCP.
 type TCPOptions struct {
@@ -36,7 +39,13 @@ type TCPOptions struct {
 	// it differs — catching a mis-launched peer before any state flows.
 	Digest uint64
 	// Timeout bounds connection establishment (dial retries plus
-	// handshakes); zero means 30 seconds.
+	// handshakes) and, once the mesh is up, every barrier and probe round:
+	// each Exchange/Probe arms a per-link I/O deadline of this duration, so
+	// a hung (SIGSTOP'd or partitioned) peer fails the barrier with a
+	// transport error instead of stalling the cluster forever. It must
+	// therefore exceed the worst-case level imbalance across peers — the
+	// fastest peer waits at the barrier while the slowest finishes its
+	// level. Zero means 30 seconds.
 	Timeout time.Duration
 	// Metrics receives the peer-level transport instrumentation (may be
 	// nil).
@@ -57,8 +66,11 @@ type tcpConn struct {
 	conns       []net.Conn // nil at self
 	rd          []*bufio.Reader
 	wr          []*bufio.Writer
-	closeOnce   sync.Once
-	closeErr    error
+	// frameTimeout bounds each barrier/probe round's blocking I/O (see
+	// TCPOptions.Timeout).
+	frameTimeout time.Duration
+	closeOnce    sync.Once
+	closeErr     error
 }
 
 // DialTCP establishes this peer's links to the rest of the cluster and
@@ -80,9 +92,10 @@ func DialTCP(o TCPOptions) (Conn, error) {
 
 	c := &tcpConn{
 		self: o.Self, peers: n, metrics: o.Metrics,
-		conns: make([]net.Conn, n),
-		rd:    make([]*bufio.Reader, n),
-		wr:    make([]*bufio.Writer, n),
+		conns:        make([]net.Conn, n),
+		rd:           make([]*bufio.Reader, n),
+		wr:           make([]*bufio.Writer, n),
+		frameTimeout: timeout,
 	}
 
 	ln, err := net.Listen("tcp", o.Addrs[o.Self])
@@ -92,10 +105,30 @@ func DialTCP(o TCPOptions) (Conn, error) {
 	defer ln.Close()
 
 	// Accept links from every higher-numbered peer concurrently with
-	// dialing the lower-numbered ones.
+	// dialing the lower-numbered ones. Accepted conns whose handshake is
+	// still in flight are tracked in pending so a dial-side failure can
+	// close them immediately: closing the listener alone would leave the
+	// accept goroutine blocked in a handshake read until the full timeout,
+	// and fail() blocks on that goroutine.
 	expect := n - 1 - o.Self
 	acceptErr := make(chan error, 1)
 	done := make(chan struct{})
+	var pendMu sync.Mutex
+	pending := make(map[net.Conn]bool)
+	failing := false
+	track := func(nc net.Conn, on bool) bool {
+		pendMu.Lock()
+		defer pendMu.Unlock()
+		if on && failing {
+			return false
+		}
+		if on {
+			pending[nc] = true
+		} else {
+			delete(pending, nc)
+		}
+		return true
+	}
 	go func() {
 		defer close(done)
 		for i := 0; i < expect; i++ {
@@ -104,7 +137,13 @@ func DialTCP(o TCPOptions) (Conn, error) {
 				acceptErr <- fmt.Errorf("transport: accept: %w", err)
 				return
 			}
+			if !track(nc, true) {
+				nc.Close()
+				acceptErr <- fmt.Errorf("transport: dial failed while accepting peers")
+				return
+			}
 			peer, err := c.handshake(nc, o, deadline, false)
+			track(nc, false)
 			if err != nil {
 				nc.Close()
 				acceptErr <- err
@@ -121,6 +160,12 @@ func DialTCP(o TCPOptions) (Conn, error) {
 	}()
 
 	fail := func(err error) (Conn, error) {
+		pendMu.Lock()
+		failing = true
+		for nc := range pending {
+			nc.Close()
+		}
+		pendMu.Unlock()
 		ln.Close()
 		<-done
 		c.Close()
@@ -225,6 +270,39 @@ func (c *tcpConn) install(peer int, nc net.Conn) {
 	c.wr[peer] = bufio.NewWriterSize(nc, 1<<16)
 }
 
+// armDeadline bounds one barrier or probe round's blocking I/O: every listed
+// link gets an absolute read+write deadline frameTimeout from now, cleared
+// again by the returned func. The deadline interrupts in-flight Read and
+// Write calls, so it also releases Exchange's writer goroutines — and the
+// wg.Wait() on them — when a peer stops draining its receive buffer.
+func (c *tcpConn) armDeadline(peers ...int) func() {
+	if c.frameTimeout <= 0 {
+		return func() {}
+	}
+	dl := time.Now().Add(c.frameTimeout)
+	for _, q := range peers {
+		if q != c.self && c.conns[q] != nil {
+			c.conns[q].SetDeadline(dl)
+		}
+	}
+	return func() {
+		for _, q := range peers {
+			if q != c.self && c.conns[q] != nil {
+				c.conns[q].SetDeadline(time.Time{})
+			}
+		}
+	}
+}
+
+// allPeers lists every peer id, self included (armDeadline skips self).
+func (c *tcpConn) allPeers() []int {
+	out := make([]int, c.peers)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
 // Self implements Conn.
 func (c *tcpConn) Self() int { return c.self }
 
@@ -238,6 +316,7 @@ func (c *tcpConn) Exchange(tag uint64, blocks [][]byte, summary []byte) ([][]byt
 		return nil, nil, fmt.Errorf("transport: %d blocks for %d peers", len(blocks), n)
 	}
 	start := time.Now()
+	defer c.armDeadline(c.allPeers()...)()
 	var wg sync.WaitGroup
 	werr := make(chan error, n)
 	for q := 0; q < n; q++ {
@@ -313,6 +392,7 @@ func (c *tcpConn) Probe(peer int, fp uint64) (uint64, int32, bool, error) {
 		return 0, 0, false, fmt.Errorf("transport: probe peer %d invalid", peer)
 	}
 	start := time.Now()
+	defer c.armDeadline(peer)()
 	w := c.wr[peer]
 	if err := writeFrame(w, frameProbeReq, fp, nil); err != nil {
 		return 0, 0, false, err
@@ -354,10 +434,16 @@ func (c *tcpConn) ServeProbes(lookup func(fp uint64) (uint64, int32, bool)) erro
 			if found {
 				payload[12] = 1
 			}
-			if err := writeFrame(w, frameProbeResp, tag, payload[:]); err != nil {
-				return err
+			// The wait for the next request stays unbounded (the gap between
+			// probes is the coordinator's trace reconstruction, of unknown
+			// length), but each response write is deadline-bounded.
+			clear := c.armDeadline(0)
+			err := writeFrame(w, frameProbeResp, tag, payload[:])
+			if err == nil {
+				err = w.Flush()
 			}
-			if err := w.Flush(); err != nil {
+			clear()
+			if err != nil {
 				return err
 			}
 		default:
@@ -368,6 +454,7 @@ func (c *tcpConn) ServeProbes(lookup func(fp uint64) (uint64, int32, bool)) erro
 
 // Bye implements Conn (coordinator side).
 func (c *tcpConn) Bye() error {
+	defer c.armDeadline(c.allPeers()...)()
 	for q := 0; q < c.peers; q++ {
 		if q == c.self {
 			continue

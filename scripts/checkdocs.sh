@@ -6,7 +6,8 @@
 #   - `go vet` reports a problem,
 #   - an exported identifier in the audited packages (internal/fpset,
 #     internal/explorer, internal/ranking, internal/scenario,
-#     internal/shrink, internal/conformance, internal/transport) lacks a
+#     internal/shrink, internal/conformance, internal/transport,
+#     internal/serve) lacks a
 #     doc comment, or an audited package lacks a package doc comment,
 #   - a required operator document (README.md, ARCHITECTURE.md,
 #     OPERATIONS.md, EXPERIMENTS.md) is missing,

@@ -3,7 +3,8 @@
 //
 //  1. Every exported identifier in the audited packages (internal/fpset,
 //     internal/explorer, internal/ranking, internal/scenario,
-//     internal/shrink, internal/conformance, internal/transport) carries
+//     internal/shrink, internal/conformance, internal/transport,
+//     internal/serve) carries
 //     a doc comment, and every audited package has a package-level doc
 //     comment.
 //  2. Every relative link in the repository's *.md files resolves to an
@@ -37,6 +38,7 @@ var auditedPackages = []string{
 	"internal/shrink",
 	"internal/conformance",
 	"internal/transport",
+	"internal/serve",
 }
 
 // requiredDocs are the operator-facing documents that must exist at the

@@ -1,0 +1,228 @@
+// Command servesmoke is the CI client for `sandtable serve`: it drives one
+// job through the service over real HTTP and collects everything needed to
+// prove service/CLI equivalence.
+//
+//	servesmoke -server http://127.0.0.1:8424 -out DIR -spec '{"op":"check",...}'
+//
+// It waits for /healthz, submits the spec, streams /events (saving every
+// "trace" SSE event as JSONL — these carry real tracer sequence numbers, so
+// checktrace can validate the stream like any trace artifact), requires at
+// least one "progress" event and a terminal "done" event with state done,
+// then downloads the artifact set (metrics.json, trace.jsonl, report.md,
+// and trace.json when the run found a violation) into -out. The Makefile's
+// serve-smoke target then runs checktrace over the artifacts and the SSE
+// stream, clustercmp against a CLI reference run, and cmp on the
+// counterexample traces.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func main() {
+	server := flag.String("server", "", "base URL of the sandtable serve instance (required)")
+	out := flag.String("out", "", "directory to save artifacts into (required)")
+	spec := flag.String("spec", "", "job spec JSON to submit (required)")
+	timeout := flag.Duration("timeout", 3*time.Minute, "overall smoke deadline")
+	flag.Parse()
+	if *server == "" || *out == "" || *spec == "" {
+		fmt.Fprintln(os.Stderr, "usage: servesmoke -server URL -out DIR -spec JSON")
+		os.Exit(2)
+	}
+	if err := run(*server, *out, *spec, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, out, spec string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	// Wait for the service to come up.
+	for {
+		resp, err := http.Get(server + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service at %s never became healthy: %v", server, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Submit the job.
+	resp, err := http.Post(server+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var status struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		return fmt.Errorf("submit response: %w", err)
+	}
+	fmt.Printf("servesmoke: submitted %s (%s)\n", status.ID, status.State)
+
+	// Stream SSE to completion, saving trace events as JSONL.
+	traceEvents, progressEvents, finalState, err := streamEvents(server, status.ID, filepath.Join(out, "sse-trace.jsonl"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("servesmoke: stream closed after %d trace + %d progress events, state %s\n",
+		traceEvents, progressEvents, finalState)
+	if finalState != "done" {
+		return fmt.Errorf("job ended %s, want done", finalState)
+	}
+	if traceEvents == 0 {
+		return fmt.Errorf("SSE stream carried no trace events")
+	}
+	if progressEvents == 0 {
+		return fmt.Errorf("SSE stream carried no progress events")
+	}
+
+	// Download the artifact set.
+	required := []string{"metrics.json", "trace.jsonl", "report.md", "result.json"}
+	var listing struct {
+		Artifacts []string `json:"artifacts"`
+	}
+	if err := getJSON(server+"/v1/jobs/"+status.ID+"/artifacts/", &listing); err != nil {
+		return err
+	}
+	have := make(map[string]bool, len(listing.Artifacts))
+	for _, a := range listing.Artifacts {
+		have[a] = true
+	}
+	for _, name := range required {
+		if !have[name] {
+			return fmt.Errorf("artifact %s missing (have %v)", name, listing.Artifacts)
+		}
+	}
+	fetch := required
+	if have["trace.json"] {
+		fetch = append(fetch, "trace.json")
+	}
+	for _, name := range fetch {
+		if err := download(server+"/v1/jobs/"+status.ID+"/artifacts/"+name, filepath.Join(out, name)); err != nil {
+			return err
+		}
+	}
+
+	// The rendered report must include the coverage section the offline
+	// `sandtable report` path produces.
+	rep, err := os.ReadFile(filepath.Join(out, "report.md"))
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(rep), "## Action coverage") {
+		return fmt.Errorf("report.md lacks the Action coverage section")
+	}
+	fmt.Printf("servesmoke: saved %d artifacts to %s\n", len(fetch), out)
+	return nil
+}
+
+// streamEvents consumes the job's SSE stream until the "done" event,
+// writing each "trace" event's payload as one JSONL line to tracePath. It
+// returns the trace/progress event counts and the job's final state.
+func streamEvents(server, id, tracePath string) (traceN, progressN int, finalState string, err error) {
+	resp, err := http.Get(server + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return 0, 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, "", fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var typ, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch typ {
+			case "trace":
+				traceN++
+				fmt.Fprintln(w, data)
+			case "progress":
+				progressN++
+			case "done":
+				var st struct {
+					State string `json:"state"`
+				}
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return traceN, progressN, "", fmt.Errorf("done payload: %w", err)
+				}
+				return traceN, progressN, st.State, w.Flush()
+			}
+			typ, data = "", ""
+		}
+	}
+	return traceN, progressN, "", fmt.Errorf("stream ended without a done event: %v", sc.Err())
+}
+
+// getJSON fetches url into v.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// download saves url to path.
+func download(url, path string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
