@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-conform fuzz docs checktrace soak cluster serve-smoke ci bench benchdiff clean
+.PHONY: all build vet test race race-conform fuzz docs checktrace soak cluster serve-smoke ci ci-bench bench benchdiff clean
 
 all: ci
 
@@ -129,6 +129,14 @@ serve-smoke:
 # artifact schema gate, the out-of-core soak, the 3-process
 # distributed-equivalence gate, and the checking-as-a-service smoke.
 ci: build vet docs race race-conform fuzz checktrace soak cluster serve-smoke
+
+# ci-bench is ci plus a soft performance gate: a fresh single-count benchmark
+# run diffed against the committed BENCH_explorer.json baseline. The `-`
+# prefix makes it advisory — benchmark noise on shared CI boxes must not
+# fail the build, but the delta table lands in the log for perf-sensitive
+# changes (canonicalization, fingerprint set, frontier) to be eyeballed.
+ci-bench: ci
+	-$(MAKE) benchdiff
 
 # bench runs the Table 3 exploration benchmark and writes BENCH_explorer.json
 # (see scripts/bench.sh for the JSON shape).

@@ -11,6 +11,7 @@ package sandtable_bench
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/conformance"
 	"github.com/sandtable-go/sandtable/internal/experiments"
 	"github.com/sandtable-go/sandtable/internal/explorer"
+	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/integrations"
 	"github.com/sandtable-go/sandtable/internal/ranking"
 	"github.com/sandtable-go/sandtable/internal/replay"
@@ -108,7 +110,7 @@ func BenchmarkTable3Exploration(b *testing.B) {
 			for _, wr := range workerRuns {
 				wr := wr
 				b.Run(wr.label, func(b *testing.B) {
-					var perSec float64
+					var perSec, eventsPerSec float64
 					for i := 0; i < b.N; i++ {
 						st := sandtable.New(sys, cfg, experiments.Exp1Budget(name), bugdb.NoBugs())
 						res := st.Check(explorer.Options{
@@ -119,8 +121,10 @@ func BenchmarkTable3Exploration(b *testing.B) {
 							b.Fatalf("bug-fixed spec violated %s: %v", v.Invariant, v.Err)
 						}
 						perSec = res.StatesPerSecond()
+						eventsPerSec = float64(res.Transitions) / res.Duration.Seconds()
 					}
 					b.ReportMetric(perSec, "states/s")
+					b.ReportMetric(eventsPerSec, "events/s")
 					b.ReportMetric(float64(wr.workers), "workers")
 					// GOMAXPROCS makes the workers column interpretable: on a
 					// 1-CPU machine wmax legitimately records workers=1, and
@@ -376,6 +380,103 @@ func BenchmarkAblationRanking(b *testing.B) {
 			}
 		})
 	}
+}
+
+// sampleStates collects up to n distinct states from seeded random walks
+// over m — a workload-shaped corpus for the canonicalization benchmark
+// (states at many depths, not just the bushy initial levels).
+func sampleStates(m spec.Machine, n int, seed int64) []spec.State {
+	rng := rand.New(rand.NewSource(seed))
+	var out []spec.State
+	for len(out) < n {
+		inits := m.Init()
+		cur := inits[rng.Intn(len(inits))]
+		for d := 0; d < 60 && len(out) < n; d++ {
+			out = append(out, cur)
+			succs := m.Next(cur)
+			if len(succs) == 0 {
+				break
+			}
+			cur = succs[rng.Intn(len(succs))].State
+		}
+	}
+	return out
+}
+
+// BenchmarkCanonicalization isolates the min-of-orbit canonical fingerprint
+// — the per-successor cost symmetry reduction adds to every state the
+// explorer touches — and contrasts the two pipelines on the same sampled
+// states: `flat` recomputes a full fingerprint per non-identity permutation
+// (PermutedFingerprint), `orbit` digests the state once and recombines
+// sub-digests per permutation (spec.OrbitHasher with reused scratch, the
+// explorer's worker configuration). The ratio of the two ns/op columns is
+// the canonicalization speedup the PR-level gate tracks; allocs/op on the
+// orbit path should be zero.
+func BenchmarkCanonicalization(b *testing.B) {
+	cfg := spec.Config{Name: "n3w2", Nodes: 3, Workload: []string{"v1", "v2"}}
+	fams := []struct {
+		name string
+		mk   func(b *testing.B) spec.Machine
+	}{
+		{"gosyncobj", func(b *testing.B) spec.Machine { return benchMachine(b, "gosyncobj", cfg) }},
+		{"craft", func(b *testing.B) spec.Machine { return benchMachine(b, "craft", cfg) }},
+		{"zabkeeper", func(b *testing.B) spec.Machine { return benchMachine(b, "zabkeeper", cfg) }},
+		{"toy", func(b *testing.B) spec.Machine { return &toy.LostUpdate{N: 3} }},
+	}
+	for _, f := range fams {
+		f := f
+		m := f.mk(b)
+		sym := m.(spec.Symmetric)
+		oh := m.(spec.OrbitHasher)
+		fast, _ := m.(spec.FastSymmetric)
+		pt := spec.PermTableFor(sym.NumNodes())
+		states := sampleStates(m, 512, 17)
+		b.Run(f.name+"/flat", func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				s := states[i%len(states)]
+				min := s.Fingerprint()
+				for _, p := range pt.NonIdentity {
+					var pf uint64
+					if fast != nil {
+						pf = fast.PermutedFingerprint(s, p)
+					} else {
+						pf = sym.Permute(s, p).Fingerprint()
+					}
+					if pf < min {
+						min = pf
+					}
+				}
+				sink ^= min
+			}
+			benchSink = sink
+		})
+		b.Run(f.name+"/orbit", func(b *testing.B) {
+			b.ReportAllocs()
+			sc := fp.NewOrbitScratch()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				s := states[i%len(states)]
+				min, _ := oh.OrbitFingerprint(s, pt, sc)
+				sink ^= min
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// benchSink defeats dead-code elimination in tight benchmark loops.
+var benchSink uint64
+
+// benchMachine builds one integration system's bug-fixed spec machine.
+func benchMachine(b *testing.B, name string, cfg spec.Config) spec.Machine {
+	b.Helper()
+	sys, err := integrations.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sandtable.New(sys, cfg, sys.DefaultBudget, bugdb.NoBugs()).Machine()
 }
 
 // BenchmarkExplorerThroughput reports the raw distinct-state throughput of

@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 
+	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/spec"
 )
 
@@ -57,6 +58,25 @@ func (f *filteredMachine) PermutedFingerprint(s spec.State, perm []int) uint64 {
 		return fast.PermutedFingerprint(s, perm)
 	}
 	return f.Permute(s, perm).Fingerprint()
+}
+
+// OrbitFingerprint implements spec.OrbitHasher by delegation, so filtering
+// invariants does not silently drop the wrapped machine's incremental
+// canonicalization path. When the wrapped machine lacks the fast path the
+// wrapper falls back to the flat min-of-orbit — same contract, one
+// PermutedFingerprint per permutation.
+func (f *filteredMachine) OrbitFingerprint(s spec.State, perms *spec.PermTable, scratch *fp.OrbitScratch) (uint64, bool) {
+	if oh, ok := f.Machine.(spec.OrbitHasher); ok {
+		return oh.OrbitFingerprint(s, perms, scratch)
+	}
+	plain := s.Fingerprint()
+	min := plain
+	for _, p := range perms.NonIdentity {
+		if pf := f.PermutedFingerprint(s, p); pf < min {
+			min = pf
+		}
+	}
+	return min, min != plain
 }
 
 // goalMachine wraps a machine replacing its invariants with a single

@@ -532,6 +532,7 @@ func (c *Checker) rebuildFrontier(depth int, want map[uint64]bool) ([]frontierEn
 		for lo := 0; lo < len(cur); lo += block {
 			hi := min(lo+block, len(cur))
 			recs := c.replayExpand(cur[lo:hi], workers)
+			c.countCanon(int64(len(recs))) // replay canonicalizations, folded serially
 			for k := lo; k < hi; k++ {
 				cur[k].state = nil
 			}
@@ -567,11 +568,13 @@ func (c *Checker) rebuildFrontier(depth int, want map[uint64]bool) ([]frontierEn
 func (c *Checker) replayExpand(entries []frontierEntry, workers int) []frontierEntry {
 	expandOne := func(fes []frontierEntry) []frontierEntry {
 		var out []frontierEntry
-		var buf []spec.Succ // goroutine-local, reused across the slice
+		var buf []spec.Succ    // goroutine-local, reused across the slice
+		var sc fp.OrbitScratch // goroutine-local orbit-hash scratch
 		for _, fe := range fes {
 			buf = c.nextInto(fe.state, buf[:0])
 			for i := range buf {
-				out = append(out, frontierEntry{state: buf[i].State, fp: c.canonicalFP(buf[i].State)})
+				f, _ := c.canonicalFPScratch(buf[i].State, &sc)
+				out = append(out, frontierEntry{state: buf[i].State, fp: f})
 			}
 		}
 		return out

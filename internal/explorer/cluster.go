@@ -324,6 +324,7 @@ func (c *Checker) runCluster() *Result {
 		seen := make(map[uint64]bool)
 		for _, s := range c.m.Init() {
 			f := c.canonicalFP(s)
+			c.countCanon(1)
 			if seen[f] {
 				if transport.Owner(f, cl.peers) == cl.self {
 					res.DedupHits++
@@ -426,7 +427,7 @@ func (c *Checker) runCluster() *Result {
 			if queueLen > res.MaxQueueLen {
 				res.MaxQueueLen = queueLen
 			}
-			metrics.publish(res, queueLen, depth, c.visited)
+			metrics.publish(c, res, queueLen, depth, c.visited)
 			reporter.Maybe(obs.Progress{
 				DistinctStates: res.DistinctStates,
 				QueueLen:       queueLen,
@@ -603,7 +604,7 @@ func (c *Checker) runCluster() *Result {
 		})
 	}
 
-	metrics.publish(res, gFrontier, depth, c.visited)
+	metrics.publish(c, res, gFrontier, depth, c.visited)
 	if c.opts.Progress != nil {
 		reporter.Emit(obs.Progress{
 			DistinctStates: res.DistinctStates,
@@ -693,6 +694,9 @@ func (p *expandPool) drainClusterInto(res *Result, depth int, byFP map[uint64]in
 	for _, w := range p.ws {
 		cover.MergeWorker(w.wc)
 		out := &w.out
+		// As in drainInto: successors processed == canonicalizations, folded
+		// at the barrier so the counter stays off the hot path.
+		c.countCanon(out.work)
 		res.Transitions += out.work
 		res.DedupHits += out.dedup
 		for _, cand := range out.cands {
@@ -735,7 +739,7 @@ func (w *expandWorker) expandChunkCluster(entries []frontierEntry, depth int) {
 		w.buf = c.nextInto(fe.state, w.buf[:0])
 		out.work += int64(len(w.buf))
 		for _, su := range w.buf {
-			f, reduced := c.canonicalFPReduced(su.State)
+			f, reduced := c.canonicalFPScratch(su.State, &w.osc)
 			if reduced {
 				w.wc.SymmetryHit()
 			}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/fpset"
 	"github.com/sandtable-go/sandtable/internal/obs"
 	"github.com/sandtable-go/sandtable/internal/spec"
@@ -55,6 +56,13 @@ type Options struct {
 	// Symmetry enables symmetry reduction when the machine implements
 	// spec.Symmetric: states are identified up to node permutation.
 	Symmetry bool
+	// FlatCanon forces the flat per-permutation canonicalization path
+	// (Permute / PermutedFingerprint once per permutation) even when the
+	// machine implements spec.OrbitHasher. Exploration results are
+	// identical either way — the OrbitHasher contract is exact fingerprint
+	// equality, gated by differential tests — so the knob exists for those
+	// tests and for benchmarking the two pipelines, not for operators.
+	FlatCanon bool
 	// MaxDepth bounds the BFS depth (0 = unbounded; budgets inside the spec
 	// usually bound the space already).
 	MaxDepth int
@@ -268,7 +276,23 @@ type Checker struct {
 
 	sym   spec.Symmetric
 	fast  spec.FastSymmetric
-	perms [][]int // non-identity permutations only
+	perms [][]int // non-identity permutations only (shared, read-only)
+	// orbit is non-nil when the machine supports incremental orbit
+	// canonicalization (spec.OrbitHasher) and Options.FlatCanon is off:
+	// min-of-orbit then costs one digest pass plus cheap per-permutation
+	// combines instead of one full rehash per permutation.
+	orbit spec.OrbitHasher
+	// ptab is the cached permutation table for the machine's arity (nil
+	// with symmetry off).
+	ptab *spec.PermTable
+	// osc is the serial-path orbit scratch (init seeding, checkpoint
+	// rebuild, trace reconstruction); expansion workers carry their own.
+	osc fp.OrbitScratch
+	// canonOrbit / canonFlat count canonicalizations served by the
+	// incremental orbit path vs the flat per-permutation path. Published as
+	// explorer.canonical.* metrics only — deliberately NOT part of Result,
+	// so fast-path-on and fast-path-off runs stay byte-identical.
+	canonOrbit, canonFlat int64
 
 	visited *fpset.Set
 
@@ -295,16 +319,16 @@ func NewChecker(m spec.Machine, opts Options) *Checker {
 	if opts.Symmetry {
 		if sym, ok := m.(spec.Symmetric); ok && sym.NumNodes() > 1 {
 			c.sym = sym
-			// The identity permutation is dropped once here: canonicalFP
-			// starts from the plain fingerprint, so the hot loop never has
-			// to re-test for it.
-			for _, p := range spec.Permutations(sym.NumNodes()) {
-				if !isIdentity(p) {
-					c.perms = append(c.perms, p)
-				}
-			}
+			// The cached table already separates the identity permutation
+			// out: canonicalFP starts from the plain fingerprint, so the hot
+			// loop never has to re-test for it.
+			c.ptab = spec.PermTableFor(sym.NumNodes())
+			c.perms = c.ptab.NonIdentity
 			if fast, ok := m.(spec.FastSymmetric); ok {
 				c.fast = fast
+			}
+			if orbit, ok := m.(spec.OrbitHasher); ok && !opts.FlatCanon {
+				c.orbit = orbit
 			}
 		}
 	}
@@ -333,13 +357,27 @@ func (c *Checker) canonicalFP(s spec.State) uint64 {
 // canonicalFPReduced is canonicalFP plus whether a non-identity permutation
 // produced the minimum — i.e. whether symmetry reduction actually collapsed
 // this state onto a representative (the coverage profiler's symmetry-hit
-// signal). The extra comparison is free next to the permutation loop.
+// signal). Serial-path wrapper over canonicalFPScratch using the checker's
+// own scratch; concurrent callers (expansion workers, checkpoint replay)
+// must pass their own.
 func (c *Checker) canonicalFPReduced(s spec.State) (uint64, bool) {
-	fp := s.Fingerprint()
-	if c.sym == nil {
-		return fp, false
+	return c.canonicalFPScratch(s, &c.osc)
+}
+
+// canonicalFPScratch computes the canonical fingerprint with caller-owned
+// orbit scratch: the incremental orbit path when the machine provides it
+// (one digest pass + cheap combines, no allocations), otherwise the flat
+// path (plain fingerprint, then one full rehash per non-identity
+// permutation via PermutedFingerprint or a materialised Permute).
+func (c *Checker) canonicalFPScratch(s spec.State, sc *fp.OrbitScratch) (uint64, bool) {
+	if c.orbit != nil {
+		return c.orbit.OrbitFingerprint(s, c.ptab, sc)
 	}
-	plain := fp
+	fpv := s.Fingerprint()
+	if c.sym == nil {
+		return fpv, false
+	}
+	plain := fpv
 	for _, p := range c.perms {
 		var pf uint64
 		if c.fast != nil {
@@ -347,20 +385,24 @@ func (c *Checker) canonicalFPReduced(s spec.State) (uint64, bool) {
 		} else {
 			pf = c.sym.Permute(s, p).Fingerprint()
 		}
-		if pf < fp {
-			fp = pf
+		if pf < fpv {
+			fpv = pf
 		}
 	}
-	return fp, fp != plain
+	return fpv, fpv != plain
 }
 
-func isIdentity(p []int) bool {
-	for i, v := range p {
-		if i != v {
-			return false
-		}
+// countCanon attributes n canonicalizations to the active pipeline's
+// counter (no-op with symmetry off — canonicalization is then a plain
+// fingerprint). Called at block barriers and on serial paths, never
+// per-successor.
+func (c *Checker) countCanon(n int64) {
+	switch {
+	case c.orbit != nil:
+		c.canonOrbit += n
+	case c.sym != nil:
+		c.canonFlat += n
 	}
-	return true
 }
 
 type frontierEntry struct {
@@ -373,6 +415,10 @@ type frontierEntry struct {
 type runMetrics struct {
 	distinct, transitions, dedup, queueLen, maxQueueLen, depth *obs.Gauge
 	fpsetEntries, fpsetSlots, fpsetProbes, fpsetResizes        *obs.Gauge
+	// Canonicalization pipeline counters: how many canonical fingerprints
+	// the incremental orbit fast path served vs the flat per-permutation
+	// fallback (both zero with symmetry off).
+	canonOrbit, canonFlat *obs.Gauge
 	// Memory-pressure gauges/counters (see memory.go): fpset spill state,
 	// frontier spill volume, heap-in-use, and the configured budget.
 	fpsetSpilledEntries, fpsetSpilledShards, fpsetSpillRuns *obs.Gauge
@@ -395,6 +441,8 @@ func newRunMetrics(reg *obs.Registry) *runMetrics {
 		queueLen:               reg.Gauge("queue_len"),
 		maxQueueLen:            reg.Gauge("max_queue_len"),
 		depth:                  reg.Gauge("depth"),
+		canonOrbit:             reg.Gauge("explorer.canonical.orbit"),
+		canonFlat:              reg.Gauge("explorer.canonical.flat"),
 		fpsetEntries:           reg.Gauge("fpset.entries"),
 		fpsetSlots:             reg.Gauge("fpset.slots"),
 		fpsetProbes:            reg.Gauge("fpset.probes"),
@@ -416,10 +464,12 @@ func newRunMetrics(reg *obs.Registry) *runMetrics {
 	}
 }
 
-func (m *runMetrics) publish(res *Result, queueLen, depth int, set *fpset.Set) {
+func (m *runMetrics) publish(c *Checker, res *Result, queueLen, depth int, set *fpset.Set) {
 	if m == nil {
 		return
 	}
+	m.canonOrbit.Set(c.canonOrbit)
+	m.canonFlat.Set(c.canonFlat)
 	m.distinct.Set(int64(res.DistinctStates))
 	m.transitions.Set(res.Transitions)
 	m.dedup.Set(res.DedupHits)
@@ -512,6 +562,7 @@ func (c *Checker) Run() *Result {
 		seen := make(map[uint64]bool)
 		for _, s := range c.m.Init() {
 			fp := c.canonicalFP(s)
+			c.countCanon(1)
 			if seen[fp] {
 				res.DedupHits++
 				continue
@@ -636,7 +687,7 @@ func (c *Checker) Run() *Result {
 			if queueLen > res.MaxQueueLen {
 				res.MaxQueueLen = queueLen
 			}
-			metrics.publish(res, queueLen, depth, c.visited)
+			metrics.publish(c, res, queueLen, depth, c.visited)
 			reporter.Maybe(obs.Progress{
 				DistinctStates: res.DistinctStates,
 				QueueLen:       queueLen,
@@ -758,7 +809,7 @@ func (c *Checker) Run() *Result {
 	res.StopReason = stop
 	res.Duration = restoredElapsed + time.Since(start)
 
-	metrics.publish(res, lf.size(), depth, c.visited)
+	metrics.publish(c, res, lf.size(), depth, c.visited)
 	if c.opts.Progress != nil {
 		reporter.Emit(obs.Progress{
 			DistinctStates: res.DistinctStates,
@@ -821,6 +872,11 @@ type expandWorker struct {
 	c   *Checker
 	buf []spec.Succ
 	out chunkOut
+	// osc is the worker-private orbit-hash scratch: the incremental
+	// canonicalization path (spec.OrbitHasher) reuses its sub-digest arrays
+	// across every successor this worker ever hashes, so the hot loop does
+	// not allocate.
+	osc fp.OrbitScratch
 	// wc is the worker's private coverage accumulator (nil unless
 	// Options.Cover); it is folded into the run profile and reset at the
 	// same block barrier that drains out.
@@ -907,6 +963,11 @@ func (p *expandPool) drainInto(res *Result, next *[]frontierEntry, viols *[]*Vio
 	for _, w := range p.ws {
 		cover.MergeWorker(w.wc)
 		out := &w.out
+		// Every enumerated successor was canonicalized exactly once, so
+		// out.work doubles as the block's canonicalization count. Folding it
+		// here keeps the counter off the hot path (and out of Result, which
+		// must stay byte-identical across pipelines).
+		p.c.countCanon(out.work)
 		res.Transitions += out.work
 		res.DedupHits += out.dedup
 		res.DistinctStates += len(out.fresh)
@@ -964,7 +1025,7 @@ func (w *expandWorker) expandChunk(p *expandPool, entries []frontierEntry, depth
 		w.buf = c.nextInto(fe.state, w.buf[:0])
 		out.work += int64(len(w.buf))
 		for _, su := range w.buf {
-			fp, reduced := c.canonicalFPReduced(su.State)
+			fp, reduced := c.canonicalFPScratch(su.State, &w.osc)
 			fresh := c.visited.Insert(fp, fe.fp, int32(depth))
 			if wc := w.wc; wc != nil {
 				if reduced {

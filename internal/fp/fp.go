@@ -114,6 +114,52 @@ func (h *Hasher) WriteInts(vs []int) {
 // variables hashed back to back.
 func (h *Hasher) Sep() { h.writeByte(0xFE) }
 
+// WriteDigest mixes a completed sub-digest produced by a separate Hasher
+// (the incremental-canonicalization combiner, see OrbitScratch). The value
+// is framed with a dedicated domain byte so a stream of combined
+// sub-digests cannot alias a stream of raw WriteUint64 field values.
+func (h *Hasher) WriteDigest(d uint64) {
+	h.writeByte(0xD6)
+	h.WriteUint64(d)
+}
+
+// OrbitScratch is the reusable scratch buffer for incremental orbit
+// canonicalization (spec.OrbitHasher). A spec decomposes its state into
+// node-id-free sub-digests — one per node (Node), one per ordered node pair
+// (Edge, row-major n×n) — hashed ONCE per state; the canonical min-of-orbit
+// fingerprint is then the minimum over permutations of a cheap combiner
+// that mixes the sub-digests in permuted slot order plus the few
+// node-id-valued residue fields. Reset between states; the explorer keeps
+// one scratch per expansion worker so the canonical path never allocates.
+type OrbitScratch struct {
+	// Node holds one sub-digest per node (the node's id-free local
+	// component).
+	Node []uint64
+	// Edge holds one sub-digest per ordered node pair, row-major: the pair
+	// (a, b) lives at index a*n + b. Diagonal entries carry per-node data
+	// indexed by peer (e.g. a leader's own replication-state slot).
+	Edge []uint64
+}
+
+// NewOrbitScratch returns an empty scratch; Reset sizes it.
+func NewOrbitScratch() *OrbitScratch { return &OrbitScratch{} }
+
+// Reset sizes the scratch for an n-node state, growing the buffers only
+// when a larger arity appears (steady-state: zero allocations).
+func (o *OrbitScratch) Reset(n int) {
+	if cap(o.Node) < n {
+		o.Node = make([]uint64, n)
+	} else {
+		o.Node = o.Node[:n]
+	}
+	e := n * n
+	if cap(o.Edge) < e {
+		o.Edge = make([]uint64, e)
+	} else {
+		o.Edge = o.Edge[:e]
+	}
+}
+
 // HashString is a convenience helper fingerprinting a single string.
 func HashString(s string) uint64 {
 	h := New()

@@ -1,0 +1,178 @@
+package fp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// combineDigests folds a sequence of sub-digests the way an OrbitHasher
+// combiner does: one WriteDigest per component.
+func combineDigests(ds []uint64) uint64 {
+	var h Hasher
+	h.Reset()
+	for _, d := range ds {
+		h.WriteDigest(d)
+	}
+	return h.Sum()
+}
+
+// TestQuickDigestCombinationOrderSensitive: swapping any two distinct
+// sub-digests changes the combined fingerprint — the combiner must encode
+// slot order, or permuted states would collide with their originals and
+// symmetry reduction would collapse states that are NOT in the same orbit.
+func TestQuickDigestCombinationOrderSensitive(t *testing.T) {
+	f := func(ds []uint64, i, j uint8) bool {
+		if len(ds) < 2 {
+			return true
+		}
+		a, b := int(i)%len(ds), int(j)%len(ds)
+		if a == b || ds[a] == ds[b] {
+			return true
+		}
+		orig := combineDigests(ds)
+		ds[a], ds[b] = ds[b], ds[a]
+		swapped := combineDigests(ds)
+		return orig != swapped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubDigestFramingNoAliasing: splitting the same byte stream at
+// different node boundaries yields different combined fingerprints — the
+// per-component digest seed and the WriteDigest domain byte keep component
+// boundaries from aliasing ("ab"|"c" must not collide with "a"|"bc").
+func TestQuickSubDigestFramingNoAliasing(t *testing.T) {
+	combineSplit := func(data []byte, cut int) uint64 {
+		var part Hasher
+		part.Reset()
+		part.WriteBytes(data[:cut])
+		d1 := part.Sum()
+		part.Reset()
+		part.WriteBytes(data[cut:])
+		d2 := part.Sum()
+		return combineDigests([]uint64{d1, d2})
+	}
+	f := func(data []byte, i, j uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		a, b := int(i)%(len(data)+1), int(j)%(len(data)+1)
+		if a == b {
+			return true
+		}
+		return combineSplit(data, a) != combineSplit(data, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDigestStreamDistinctFromRawValues: a combined sub-digest stream must
+// not alias a stream of the same 64-bit values written raw — WriteDigest's
+// domain byte separates the two vocabularies.
+func TestDigestStreamDistinctFromRawValues(t *testing.T) {
+	vals := []uint64{0, 1, 0xDEADBEEF, ^uint64(0)}
+	var raw Hasher
+	raw.Reset()
+	for _, v := range vals {
+		raw.WriteUint64(v)
+	}
+	if raw.Sum() == combineDigests(vals) {
+		t.Fatal("digest stream aliases raw WriteUint64 stream")
+	}
+}
+
+// TestQuickCombinePermutationConsistency is the model-level agreement
+// property behind OrbitHasher: for a synthetic n-node state (one random
+// payload per node), combining the per-node sub-digests in permuted slot
+// order equals hashing the materialised permuted state flat — i.e. the
+// incremental path agrees with flat hashing on randomized states.
+func TestQuickCombinePermutationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	flat := func(payloads [][]byte) uint64 {
+		var h Hasher
+		h.Reset()
+		for _, p := range payloads {
+			var sub Hasher
+			sub.Reset()
+			sub.WriteBytes(p)
+			h.WriteDigest(sub.Sum())
+		}
+		return h.Sum()
+	}
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(5)
+		payloads := make([][]byte, n)
+		for i := range payloads {
+			payloads[i] = make([]byte, rng.Intn(12))
+			rng.Read(payloads[i])
+		}
+		perm := rng.Perm(n)
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		// Materialise the permuted state, then hash it flat.
+		permuted := make([][]byte, n)
+		for i, p := range payloads {
+			permuted[perm[i]] = p
+		}
+		want := flat(permuted)
+		// Incremental path: hash each node once, combine through inv.
+		node := make([]uint64, n)
+		var sub Hasher
+		for i, p := range payloads {
+			sub.Reset()
+			sub.WriteBytes(p)
+			node[i] = sub.Sum()
+		}
+		var h Hasher
+		h.Reset()
+		for j := 0; j < n; j++ {
+			h.WriteDigest(node[inv[j]])
+		}
+		if got := h.Sum(); got != want {
+			t.Fatalf("iter %d n %d perm %v: incremental combine %#x != flat permuted hash %#x",
+				iter, n, perm, got, want)
+		}
+	}
+}
+
+// FuzzDigestCombiner fuzzes the framing-safety property: two different
+// splits of the same byte stream into two sub-digests must combine to
+// different fingerprints (a collision here would let symmetry reduction
+// identify states whose node boundaries merely shifted).
+func FuzzDigestCombiner(f *testing.F) {
+	f.Add([]byte("abc"), uint8(1), uint8(2))
+	f.Add([]byte{0, 0, 0, 0}, uint8(0), uint8(4))
+	f.Add([]byte("sandtable"), uint8(3), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, i, j uint8) {
+		if len(data) == 0 {
+			return
+		}
+		a, b := int(i)%(len(data)+1), int(j)%(len(data)+1)
+		combine := func(cut int) uint64 {
+			var sub Hasher
+			sub.Reset()
+			sub.WriteBytes(data[:cut])
+			d1 := sub.Sum()
+			sub.Reset()
+			sub.WriteBytes(data[cut:])
+			d2 := sub.Sum()
+			return combineDigests([]uint64{d1, d2})
+		}
+		fa, fb := combine(a), combine(b)
+		if a == b {
+			if fa != fb {
+				t.Fatalf("same split %d produced different fingerprints %#x vs %#x", a, fa, fb)
+			}
+			return
+		}
+		if fa == fb {
+			t.Fatalf("splits %d and %d of %q alias to %#x", a, b, data, fa)
+		}
+	})
+}

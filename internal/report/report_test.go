@@ -26,8 +26,10 @@ func sampleCover() *obs.Cover {
 
 func sampleMetrics() map[string]any {
 	return map[string]any{
-		"schema":          float64(obs.MetricsSchemaVersion),
-		"distinct_states": float64(3),
+		"schema":                   float64(obs.MetricsSchemaVersion),
+		"distinct_states":          float64(3),
+		"explorer.canonical.orbit": float64(42),
+		"explorer.canonical.flat":  float64(0),
 		"result": map[string]any{
 			"distinct_states":      float64(3),
 			"transitions":          float64(3),
@@ -67,6 +69,7 @@ func TestRenderSections(t *testing.T) {
 		"| stop_reason | violation |",
 		"| dedup_ratio | 25.0% |",
 		"| duration_ns | 1.500s |",
+		"| canonicalizations (incremental orbit) | 42 |",
 		"## Action coverage",
 		"| ClientRequest | 3 | 2 | 66.7% | 1 | 2 |",
 		"| HandleVote | 1 | 0 | 0.0% | 2 | — | zero yield |",

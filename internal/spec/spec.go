@@ -17,6 +17,7 @@ package spec
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/trace"
@@ -122,6 +123,27 @@ type Symmetric interface {
 type FastSymmetric interface {
 	Symmetric
 	PermutedFingerprint(s State, perm []int) uint64
+}
+
+// OrbitHasher is an optional refinement of Symmetric for incremental orbit
+// canonicalization: instead of rehashing the full state once per
+// permutation (P! full passes for the min-of-orbit canonical fingerprint),
+// the machine decomposes the state into node-id-free sub-digests hashed
+// once (per node, per ordered node pair, plus a global residue) and derives
+// each permutation's fingerprint by cheaply recombining them — O(|state| +
+// P!·P²) instead of O(P!·|state|). The contract is exact equality with the
+// flat path:
+//
+//	min over all perms of Permute(s, perm).Fingerprint()
+//
+// with reduced == (min != s.Fingerprint()); implementers therefore build
+// State.Fingerprint, PermutedFingerprint, and OrbitFingerprint on the same
+// decomposition, and spectest.AssertOrbitEquiv property-tests the
+// equivalence. scratch is caller-owned reusable memory (the explorer keeps
+// one per expansion worker); implementations must not retain it.
+type OrbitHasher interface {
+	Symmetric
+	OrbitFingerprint(s State, perms *PermTable, scratch *fp.OrbitScratch) (min uint64, reduced bool)
 }
 
 // ActionLister is an optional Machine capability declaring the full action
@@ -330,9 +352,82 @@ func ViolationInvariant(get func(State) string) Invariant {
 	}
 }
 
+// PermTable is the precomputed permutation table for one arity: every
+// permutation of 0..n-1 plus the derived views the canonicalization hot
+// path needs (identity dropped, inverses paired). Tables come from
+// PermTableFor and are shared across callers — treat every slice as
+// read-only.
+type PermTable struct {
+	// N is the arity.
+	N int
+	// All lists every permutation; All[0] is the identity.
+	All [][]int
+	// Identity is All[0] (perm[i] == i).
+	Identity []int
+	// NonIdentity is All[1:]: the permutations the min-of-orbit loop
+	// actually has to try once the plain fingerprint seeds the minimum.
+	NonIdentity [][]int
+	// NonIdentityInv holds the inverse of each NonIdentity permutation,
+	// index-aligned (inv[perm[i]] == i) — combiners read "which original
+	// node fills slot j" without re-deriving it per state.
+	NonIdentityInv [][]int
+}
+
+// permTableMax bounds the cached arities; factorial growth makes larger
+// tables pathological anyway (8! = 40320 permutations), so beyond the cap
+// tables are built on demand.
+const permTableMax = 8
+
+var permTables [permTableMax + 1]struct {
+	once sync.Once
+	tab  *PermTable
+}
+
+// PermTableFor returns the (cached, shared, read-only) permutation table
+// for arity n. The first call per arity builds the table; subsequent calls
+// are a pointer load — call sites no longer regenerate the factorial table
+// per run.
+func PermTableFor(n int) *PermTable {
+	if n < 0 || n > permTableMax {
+		return buildPermTable(n)
+	}
+	e := &permTables[n]
+	e.once.Do(func() { e.tab = buildPermTable(n) })
+	return e.tab
+}
+
+func buildPermTable(n int) *PermTable {
+	t := &PermTable{N: n, All: generatePermutations(n)}
+	t.Identity = t.All[0]
+	t.NonIdentity = t.All[1:]
+	t.NonIdentityInv = make([][]int, len(t.NonIdentity))
+	for k, p := range t.NonIdentity {
+		inv := make([]int, n)
+		for i, v := range p {
+			inv[v] = i
+		}
+		t.NonIdentityInv[k] = inv
+	}
+	return t
+}
+
 // Permutations returns all permutations of 0..n-1 (used for symmetry
 // reduction; n is small — the paper uses 2- and 3-node configurations).
+// The copies are fresh, so callers may mutate them; hot paths should use
+// PermTableFor instead.
 func Permutations(n int) [][]int {
+	t := PermTableFor(n)
+	out := make([][]int, len(t.All))
+	for i, p := range t.All {
+		out[i] = append([]int(nil), p...)
+	}
+	return out
+}
+
+// generatePermutations emits every permutation of 0..n-1 by recursive
+// position swaps; the first emitted permutation is the identity (the swap
+// at each level starts with the no-op), which PermTable relies on.
+func generatePermutations(n int) [][]int {
 	ids := make([]int, n)
 	for i := range ids {
 		ids[i] = i

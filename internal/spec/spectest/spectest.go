@@ -1,17 +1,85 @@
 // Package spectest provides generic property tests shared by the
-// specification packages' test suites. Today it verifies the
-// spec.BufferedMachine contract: pooled successor enumeration (AppendNext
-// into a caller-owned scratch buffer) must be observationally identical to
-// the allocating Next path, including when the buffer is recycled across
-// calls and when it arrives with a non-empty prefix.
+// specification packages' test suites. It verifies the
+// spec.BufferedMachine contract — pooled successor enumeration
+// (AppendNext into a caller-owned scratch buffer) must be observationally
+// identical to the allocating Next path, including when the buffer is
+// recycled across calls and when it arrives with a non-empty prefix — and
+// the spec.OrbitHasher contract: the incremental min-of-orbit canonical
+// fingerprint must equal the reference computed by materialising every
+// permuted state.
 package spectest
 
 import (
 	"math/rand"
 	"testing"
 
+	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/spec"
 )
+
+// AssertOrbitEquiv drives `walks` seeded random walks of up to `depth`
+// steps over m (which must implement spec.OrbitHasher) and, at every
+// visited state s, asserts the full canonicalization contract against the
+// materialising reference Permute(s, p).Fingerprint():
+//
+//   - OrbitFingerprint's minimum equals the reference min over the whole
+//     orbit (identity included), and its reduced flag equals
+//     "a non-identity permutation strictly beat the plain fingerprint";
+//   - when m also implements spec.FastSymmetric, PermutedFingerprint
+//     agrees with the reference for every permutation individually;
+//
+// while reusing one scratch across all calls (the explorer's per-worker
+// usage pattern, which also catches stale-scratch bugs).
+func AssertOrbitEquiv(t *testing.T, m spec.Machine, walks, depth int, seed int64) {
+	t.Helper()
+	oh, ok := m.(spec.OrbitHasher)
+	if !ok {
+		t.Fatalf("%s does not implement spec.OrbitHasher", m.Name())
+	}
+	pt := spec.PermTableFor(oh.NumNodes())
+	fast, _ := m.(spec.FastSymmetric)
+	scratch := fp.NewOrbitScratch()
+	rng := rand.New(rand.NewSource(seed))
+	checked := 0
+	for w := 0; w < walks; w++ {
+		inits := m.Init()
+		cur := inits[rng.Intn(len(inits))]
+		for d := 0; d <= depth; d++ {
+			plain := cur.Fingerprint()
+			wantMin := plain
+			for _, p := range pt.NonIdentity {
+				ref := oh.Permute(cur, p).Fingerprint()
+				if fast != nil {
+					if got := fast.PermutedFingerprint(cur, p); got != ref {
+						t.Fatalf("%s: PermutedFingerprint(%v) = %#x, reference Permute+Fingerprint = %#x",
+							m.Name(), p, got, ref)
+					}
+				}
+				if ref < wantMin {
+					wantMin = ref
+				}
+			}
+			gotMin, gotReduced := oh.OrbitFingerprint(cur, pt, scratch)
+			if gotMin != wantMin {
+				t.Fatalf("%s: OrbitFingerprint min = %#x, reference orbit min = %#x (plain %#x)",
+					m.Name(), gotMin, wantMin, plain)
+			}
+			if wantReduced := wantMin != plain; gotReduced != wantReduced {
+				t.Fatalf("%s: OrbitFingerprint reduced = %v, want %v (min %#x, plain %#x)",
+					m.Name(), gotReduced, wantReduced, wantMin, plain)
+			}
+			checked++
+			succs := m.Next(cur)
+			if len(succs) == 0 {
+				break
+			}
+			cur = succs[rng.Intn(len(succs))].State
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("%s: no states checked", m.Name())
+	}
+}
 
 // AssertBufferedEquiv drives `walks` seeded random walks of up to `depth`
 // steps over m and, at every visited state s, asserts that

@@ -1,153 +1,30 @@
 package raftbase
 
 import (
-	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/spec"
 )
 
 // PermutedFingerprint implements spec.FastSymmetric: it computes
-// Permute(s, perm).Fingerprint() without materialising the permuted state.
-// The write sequence below must match State.Fingerprint exactly, reading
-// through the inverse permutation (the permuted state's slot j holds the
-// original node inv[j]'s data); raftbase_test.go property-tests the
-// equivalence against the reference Permute implementation.
+// Permute(s, perm).Fingerprint() without materialising the permuted state,
+// by running one orbit digest pass (orbit.go) and one combine under perm.
+// raftbase_test.go property-tests the equivalence against the reference
+// Permute implementation.
 func (m *Machine) PermutedFingerprint(st spec.State, perm []int) uint64 {
 	s := st.(*State)
 	n := s.n
-	var invBuf [8]int
-	inv := invBuf[:n]
+	var nodeBuf [orbitMaxNodes]uint64
+	var edgeBuf [orbitMaxNodes * orbitMaxNodes]uint64
+	node, edge := orbitBuffers(n, &nodeBuf, &edgeBuf)
+	var invBuf [orbitMaxNodes]int
+	inv := invBuf[:]
+	if n > orbitMaxNodes {
+		inv = make([]int, n)
+	} else {
+		inv = invBuf[:n]
+	}
 	for i, p := range perm {
 		inv[p] = i
 	}
-
-	h := fp.New()
-	// Role, Term, VotedFor (WriteInts layout: length frame then values).
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(s.Role[inv[j]])
-	}
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(s.Term[inv[j]])
-	}
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		v := s.VotedFor[inv[j]]
-		if v >= 0 {
-			v = perm[v]
-		}
-		h.WriteInt(v)
-	}
-	for j := 0; j < n; j++ {
-		log := s.Log[inv[j]]
-		h.Sep()
-		h.WriteInt(len(log))
-		for _, e := range log {
-			h.WriteInt(e.Term)
-			h.WriteString(e.Value)
-		}
-	}
-	for _, arr := range [][]int{s.Commit, s.SnapIdx, s.SnapTerm} {
-		h.WriteInt(n)
-		for j := 0; j < n; j++ {
-			h.WriteInt(arr[inv[j]])
-		}
-	}
-	permBoolMatrix(h, s.Votes, perm, inv)
-	permBoolMatrix(h, s.PreVotes, perm, inv)
-	permIntMatrix(h, s.Next, perm, inv)
-	permIntMatrix(h, s.Match, perm, inv)
-	h.Sep()
-	for j := 0; j < n; j++ {
-		h.WriteBool(s.Up[inv[j]])
-	}
-	for a := 0; a < n; a++ {
-		for b := 0; b < n; b++ {
-			h.Sep()
-			if a == b {
-				h.WriteInt(0)
-				h.WriteBool(false)
-				h.WriteBool(false)
-				continue
-			}
-			q := s.Chan[inv[a]][inv[b]]
-			h.WriteInt(len(q))
-			for k := range q {
-				q[k].hash(h)
-			}
-			h.WriteBool(s.Cut[inv[a]][inv[b]])
-			h.WriteBool(s.Part[inv[a]][inv[b]])
-		}
-	}
-	h.Sep()
-	h.WriteInt(len(s.Committed))
-	for _, e := range s.Committed {
-		h.WriteInt(e.Term)
-		h.WriteString(e.Value)
-	}
-	h.WriteBool(s.SnapConflictInstall)
-	h.WriteInt(perm[s.LastReadNode])
-	h.WriteString(s.LastReadKey)
-	h.WriteString(s.LastReadVal)
-	h.WriteString(s.LastReadWant)
-	h.WriteBool(s.LastReadBad)
-	// Durability mirrors, matching State.Fingerprint's gated section.
-	if s.durability {
-		h.WriteInt(n)
-		for j := 0; j < n; j++ {
-			h.WriteInt(s.DurTerm[inv[j]])
-		}
-		h.WriteInt(n)
-		for j := 0; j < n; j++ {
-			v := s.DurVote[inv[j]]
-			if v >= 0 {
-				v = perm[v]
-			}
-			h.WriteInt(v)
-		}
-		for j := 0; j < n; j++ {
-			log := s.DurLog[inv[j]]
-			h.Sep()
-			h.WriteInt(len(log))
-			for _, e := range log {
-				h.WriteInt(e.Term)
-				h.WriteString(e.Value)
-			}
-		}
-	}
-	s.Counters.Hash(h)
-	s.Viol.Hash(h)
-	return h.Sum()
-}
-
-// permBoolMatrix hashes the permuted view of a per-node bool matrix, in the
-// layout of hashBoolMatrix.
-func permBoolMatrix(h *fp.Hasher, mtx [][]bool, perm, inv []int) {
-	h.Sep()
-	for j := range mtx {
-		row := mtx[inv[j]]
-		h.WriteInt(len(row))
-		if row == nil {
-			continue
-		}
-		for k := range row {
-			h.WriteBool(row[inv[k]])
-		}
-	}
-}
-
-// permIntMatrix hashes the permuted view of a per-node int matrix, in the
-// layout of hashIntMatrix (WriteInts rows).
-func permIntMatrix(h *fp.Hasher, mtx [][]int, perm, inv []int) {
-	h.Sep()
-	for j := range mtx {
-		row := mtx[inv[j]]
-		h.WriteInt(len(row))
-		if row == nil {
-			continue
-		}
-		for k := range row {
-			h.WriteInt(row[inv[k]])
-		}
-	}
+	g := s.orbitDigests(node, edge)
+	return s.orbitCombine(node, edge, g, perm, inv)
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/bugdb"
 	"github.com/sandtable-go/sandtable/internal/explorer"
 	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/spec/spectest"
 	sasync "github.com/sandtable-go/sandtable/internal/specs/asyncraft"
 	scraft "github.com/sandtable-go/sandtable/internal/specs/craft"
 	sdaos "github.com/sandtable-go/sandtable/internal/specs/daosraft"
@@ -144,6 +145,22 @@ func TestPermutedFingerprintMatchesReference(t *testing.T) {
 			}
 			cur = succs[rng.Intn(len(succs))].State
 		}
+	}
+}
+
+// TestOrbitFingerprintMatchesReference property-tests the spec.OrbitHasher
+// contract (incremental min-of-orbit == materialised reference min, with
+// the durability fault model both off and on via the crash budget) through
+// the shared spectest harness.
+func TestOrbitFingerprintMatchesReference(t *testing.T) {
+	machines := []*raftbase.Machine{
+		sgso.New(cfg3(), budget(), bugdb.AllBugs("gosyncobj")),
+		scraft.New(cfg3(), budget(), bugdb.AllBugs("craft")),
+		sxkv.New(cfg3(), budget(), bugdb.AllBugs("xraftkv")),
+		sgso.New(cfg2(), spec.Budget{Name: "lean", MaxTimeouts: 4, MaxRequests: 2, MaxBuffer: 3}, bugdb.NoBugs()),
+	}
+	for i, m := range machines {
+		spectest.AssertOrbitEquiv(t, m, 4, 120, int64(11+i))
 	}
 }
 

@@ -368,89 +368,17 @@ func (s *State) clone() *State {
 	return c
 }
 
-// Fingerprint implements spec.State.
+// Fingerprint implements spec.State: the identity-permutation combine of
+// the orbit sub-digest decomposition (see orbit.go), so the flat hash, the
+// permuted hash, and the incremental min-of-orbit share one layout by
+// construction.
 func (s *State) Fingerprint() uint64 {
-	h := fp.New()
-	h.WriteInts(s.Role)
-	h.WriteInts(s.Term)
-	h.WriteInts(s.VotedFor)
-	for i := range s.Log {
-		h.Sep()
-		h.WriteInt(len(s.Log[i]))
-		for _, e := range s.Log[i] {
-			h.WriteInt(e.Term)
-			h.WriteString(e.Value)
-		}
-	}
-	h.WriteInts(s.Commit)
-	h.WriteInts(s.SnapIdx)
-	h.WriteInts(s.SnapTerm)
-	hashBoolMatrix(h, s.Votes)
-	hashBoolMatrix(h, s.PreVotes)
-	hashIntMatrix(h, s.Next)
-	hashIntMatrix(h, s.Match)
-	h.Sep()
-	for _, u := range s.Up {
-		h.WriteBool(u)
-	}
-	for i := 0; i < s.n; i++ {
-		for j := 0; j < s.n; j++ {
-			h.Sep()
-			h.WriteInt(len(s.Chan[i][j]))
-			for k := range s.Chan[i][j] {
-				s.Chan[i][j][k].hash(h)
-			}
-			h.WriteBool(s.Cut[i][j])
-			h.WriteBool(s.Part[i][j])
-		}
-	}
-	h.Sep()
-	h.WriteInt(len(s.Committed))
-	for _, e := range s.Committed {
-		h.WriteInt(e.Term)
-		h.WriteString(e.Value)
-	}
-	h.WriteBool(s.SnapConflictInstall)
-	h.WriteInt(s.LastReadNode)
-	h.WriteString(s.LastReadKey)
-	h.WriteString(s.LastReadVal)
-	h.WriteString(s.LastReadWant)
-	h.WriteBool(s.LastReadBad)
-	// Durability mirrors are hashed only when the fault model is active, so
-	// instantiations without dirty crashes keep their fingerprints and
-	// hashing cost unchanged.
-	if s.durability {
-		h.WriteInts(s.DurTerm)
-		h.WriteInts(s.DurVote)
-		for i := range s.DurLog {
-			h.Sep()
-			h.WriteInt(len(s.DurLog[i]))
-			for _, e := range s.DurLog[i] {
-				h.WriteInt(e.Term)
-				h.WriteString(e.Value)
-			}
-		}
-	}
-	s.Counters.Hash(h)
-	s.Viol.Hash(h)
-	return h.Sum()
-}
-
-func hashBoolMatrix(h *fp.Hasher, m [][]bool) {
-	h.Sep()
-	for i := range m {
-		h.WriteInt(len(m[i]))
-		for _, b := range m[i] {
-			h.WriteBool(b)
-		}
-	}
-}
-
-func hashIntMatrix(h *fp.Hasher, m [][]int) {
-	h.Sep()
-	for i := range m {
-		h.WriteInts(m[i])
-	}
+	var nodeBuf [orbitMaxNodes]uint64
+	var edgeBuf [orbitMaxNodes * orbitMaxNodes]uint64
+	node, edge := orbitBuffers(s.n, &nodeBuf, &edgeBuf)
+	g := s.orbitDigests(node, edge)
+	id := spec.PermTableFor(s.n).Identity
+	return s.orbitCombine(node, edge, g, id, id)
 }
 
 // Vars implements spec.State; the rendering matches the implementations'

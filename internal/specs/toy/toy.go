@@ -34,12 +34,51 @@ type LostUpdateState struct {
 	PC    []int
 }
 
-// Fingerprint implements spec.State.
+// Fingerprint implements spec.State: the identity-permutation combine of
+// the orbit decomposition (see orbitDigests), so the flat hash and the
+// incremental min-of-orbit share one layout by construction.
 func (s *LostUpdateState) Fingerprint() uint64 {
-	h := fp.New()
+	var nodeBuf [orbitMaxNodes]uint64
+	node := orbitNodeBuffer(len(s.PC), &nodeBuf)
+	s.orbitDigests(node)
+	id := spec.PermTableFor(len(s.PC)).Identity
+	return s.orbitCombine(node, id)
+}
+
+// orbitMaxNodes bounds the stack-allocated digest buffer used by
+// Fingerprint (heap fallback above it).
+const orbitMaxNodes = 8
+
+func orbitNodeBuffer(n int, buf *[orbitMaxNodes]uint64) []uint64 {
+	if n <= orbitMaxNodes {
+		return buf[:n]
+	}
+	return make([]uint64, n)
+}
+
+// orbitDigests hashes each process's local component (register, pc) into
+// node — the model has no per-pair state and no node-id-valued fields, so
+// the decomposition is nodes plus the shared counter.
+func (s *LostUpdateState) orbitDigests(node []uint64) {
+	var h fp.Hasher
+	for i := range node {
+		h.Reset()
+		h.WriteInt(s.Local[i])
+		h.WriteInt(s.PC[i])
+		node[i] = h.Sum()
+	}
+}
+
+// orbitCombine folds the node digests in permuted slot order (inv[j] = the
+// original process in slot j) plus the shared counter. Under the identity
+// this IS Fingerprint.
+func (s *LostUpdateState) orbitCombine(node []uint64, inv []int) uint64 {
+	var h fp.Hasher
+	h.Reset()
+	for j := range node {
+		h.WriteDigest(node[inv[j]])
+	}
 	h.WriteInt(s.Mem)
-	h.WriteInts(s.Local)
-	h.WriteInts(s.PC)
 	return h.Sum()
 }
 
@@ -163,6 +202,42 @@ func (m *LostUpdate) Permute(st spec.State, perm []int) spec.State {
 		n.PC[perm[i]] = s.PC[i]
 	}
 	return n
+}
+
+// PermutedFingerprint implements spec.FastSymmetric: one digest pass plus
+// one combine under perm, equal to Permute(st, perm).Fingerprint().
+func (m *LostUpdate) PermutedFingerprint(st spec.State, perm []int) uint64 {
+	s := st.(*LostUpdateState)
+	var nodeBuf [orbitMaxNodes]uint64
+	node := orbitNodeBuffer(m.N, &nodeBuf)
+	s.orbitDigests(node)
+	var invBuf [orbitMaxNodes]int
+	inv := invBuf[:]
+	if m.N > orbitMaxNodes {
+		inv = make([]int, m.N)
+	} else {
+		inv = invBuf[:m.N]
+	}
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return s.orbitCombine(node, inv)
+}
+
+// OrbitFingerprint implements spec.OrbitHasher: the minimum fingerprint
+// over all process permutations from one digest pass plus cheap combines.
+func (m *LostUpdate) OrbitFingerprint(st spec.State, perms *spec.PermTable, scratch *fp.OrbitScratch) (uint64, bool) {
+	s := st.(*LostUpdateState)
+	scratch.Reset(m.N)
+	s.orbitDigests(scratch.Node)
+	plain := s.orbitCombine(scratch.Node, perms.Identity)
+	min := plain
+	for k := range perms.NonIdentity {
+		if f := s.orbitCombine(scratch.Node, perms.NonIdentityInv[k]); f < min {
+			min = f
+		}
+	}
+	return min, min != plain
 }
 
 // AppendState implements spec.StateCodec: Mem then the per-process Local and

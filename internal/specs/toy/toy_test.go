@@ -7,6 +7,12 @@ import (
 	"github.com/sandtable-go/sandtable/internal/specs/toy"
 )
 
+// TestOrbitFingerprintMatchesReference property-tests the spec.OrbitHasher
+// contract on the toy model through the shared spectest harness.
+func TestOrbitFingerprintMatchesReference(t *testing.T) {
+	spectest.AssertOrbitEquiv(t, &toy.LostUpdate{N: 3}, 20, 10, 5)
+}
+
 // TestAppendNextMatchesNext property-tests the spec.BufferedMachine contract
 // on both toy variants (the racy model and the atomic fix).
 func TestAppendNextMatchesNext(t *testing.T) {

@@ -1,140 +1,30 @@
 package zabkeeper
 
 import (
-	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/spec"
 )
 
 // PermutedFingerprint implements spec.FastSymmetric: it computes
-// Permute(s, perm).Fingerprint() without materialising the permuted state.
-// The write sequence mirrors State.Fingerprint exactly, reading through the
-// inverse permutation; zabkeeper_test.go property-tests the equivalence
-// against the reference permute implementation.
+// Permute(s, perm).Fingerprint() without materialising the permuted state,
+// by running one orbit digest pass (orbit.go) and one combine under perm.
+// zabkeeper_test.go property-tests the equivalence against the reference
+// permute implementation.
 func (m *Machine) PermutedFingerprint(st spec.State, perm []int) uint64 {
 	s := st.(*State)
 	n := s.n
-	var invBuf [8]int
-	inv := invBuf[:n]
+	var nodeBuf [orbitMaxNodes]uint64
+	var edgeBuf [orbitMaxNodes * orbitMaxNodes]uint64
+	node, edge := orbitBuffers(n, &nodeBuf, &edgeBuf)
+	var invBuf [orbitMaxNodes]int
+	inv := invBuf[:]
+	if n > orbitMaxNodes {
+		inv = make([]int, n)
+	} else {
+		inv = invBuf[:n]
+	}
 	for i, p := range perm {
 		inv[p] = i
 	}
-	mapID := func(id int) int {
-		if id < 0 {
-			return id
-		}
-		return perm[id]
-	}
-
-	h := fp.New()
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(s.ZState[inv[j]])
-	}
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(s.Round[inv[j]])
-	}
-	for j := 0; j < n; j++ {
-		v := s.Vote[inv[j]]
-		h.WriteInt(mapID(v.Leader))
-		h.WriteInt(v.Epoch)
-		h.WriteInt(v.Counter)
-	}
-	for j := 0; j < n; j++ {
-		h.Sep()
-		row := s.Recv[inv[j]]
-		for k := 0; k < n; k++ {
-			v := row[inv[k]]
-			h.WriteInt(mapID(v.Leader))
-			h.WriteInt(v.Epoch)
-			h.WriteInt(v.Counter)
-		}
-	}
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(s.Epoch[inv[j]])
-	}
-	for j := 0; j < n; j++ {
-		h.Sep()
-		hist := s.History[inv[j]]
-		h.WriteInt(len(hist))
-		for _, t := range hist {
-			h.WriteInt(t.Epoch)
-			h.WriteInt(t.Counter)
-			h.WriteString(t.Value)
-		}
-	}
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(s.Commit[inv[j]])
-	}
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(mapID(s.LeaderID[inv[j]]))
-	}
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(s.PendEpoch[inv[j]])
-	}
-	for j := 0; j < n; j++ {
-		h.Sep()
-		synced := s.Synced[inv[j]]
-		h.WriteInt(len(synced))
-		if synced != nil {
-			for k := 0; k < n; k++ {
-				h.WriteBool(synced[inv[k]])
-			}
-		}
-		acked := s.Acked[inv[j]]
-		h.WriteInt(len(acked))
-		if acked != nil {
-			for k := 0; k < n; k++ {
-				h.WriteInt(acked[inv[k]])
-			}
-		}
-	}
-	h.Sep()
-	for j := 0; j < n; j++ {
-		h.WriteBool(s.Activated[inv[j]])
-	}
-	h.WriteInt(n)
-	for j := 0; j < n; j++ {
-		h.WriteInt(s.Counter[inv[j]])
-	}
-	h.Sep()
-	for j := 0; j < n; j++ {
-		h.WriteBool(s.Up[inv[j]])
-	}
-	for a := 0; a < n; a++ {
-		for b := 0; b < n; b++ {
-			h.Sep()
-			if a == b {
-				h.WriteInt(0)
-				h.WriteBool(false)
-				h.WriteBool(false)
-				continue
-			}
-			q := s.Chan[inv[a]][inv[b]]
-			h.WriteInt(len(q))
-			for k := range q {
-				msg := q[k]
-				if msg.Vote.Leader >= 0 {
-					msg.Vote.Leader = perm[msg.Vote.Leader]
-				}
-				msg.hash(h)
-			}
-			h.WriteBool(s.Cut[inv[a]][inv[b]])
-			h.WriteBool(s.Part[inv[a]][inv[b]])
-		}
-	}
-	h.Sep()
-	h.WriteInt(len(s.Committed))
-	for _, t := range s.Committed {
-		h.WriteInt(t.Epoch)
-		h.WriteInt(t.Counter)
-		h.WriteString(t.Value)
-	}
-	s.Counters.Hash(h)
-	s.Viol.Hash(h)
-	return h.Sum()
+	g := s.orbitDigests(node, edge)
+	return s.orbitCombine(node, edge, g, perm, inv)
 }

@@ -20,7 +20,6 @@ import (
 	"strconv"
 	"strings"
 
-	"github.com/sandtable-go/sandtable/internal/fp"
 	"github.com/sandtable-go/sandtable/internal/spec"
 )
 
@@ -78,27 +77,6 @@ type Msg struct {
 	Value string
 	// commit
 	Index int
-}
-
-func (m *Msg) hash(h *fp.Hasher) {
-	h.WriteString(m.Type)
-	h.WriteInt(m.Round)
-	h.WriteInt(m.State)
-	h.WriteInt(m.Vote.Leader)
-	h.WriteInt(m.Vote.Epoch)
-	h.WriteInt(m.Vote.Counter)
-	h.WriteInt(m.Epoch)
-	h.WriteInt(m.Counter)
-	h.WriteInt(m.NewEpoch)
-	h.WriteInt(len(m.History))
-	for _, t := range m.History {
-		h.WriteInt(t.Epoch)
-		h.WriteInt(t.Counter)
-		h.WriteString(t.Value)
-	}
-	h.WriteInt(m.Committed)
-	h.WriteString(m.Value)
-	h.WriteInt(m.Index)
 }
 
 // State is the zabkeeper specification state.
@@ -322,75 +300,17 @@ func (s *State) clone() *State {
 	return c
 }
 
-// Fingerprint implements spec.State.
+// Fingerprint implements spec.State: the identity-permutation combine of
+// the orbit sub-digest decomposition (see orbit.go), so the flat hash, the
+// permuted hash, and the incremental min-of-orbit share one layout by
+// construction.
 func (s *State) Fingerprint() uint64 {
-	h := fp.New()
-	h.WriteInts(s.ZState)
-	h.WriteInts(s.Round)
-	for _, v := range s.Vote {
-		h.WriteInt(v.Leader)
-		h.WriteInt(v.Epoch)
-		h.WriteInt(v.Counter)
-	}
-	for i := range s.Recv {
-		h.Sep()
-		for _, v := range s.Recv[i] {
-			h.WriteInt(v.Leader)
-			h.WriteInt(v.Epoch)
-			h.WriteInt(v.Counter)
-		}
-	}
-	h.WriteInts(s.Epoch)
-	for i := range s.History {
-		h.Sep()
-		h.WriteInt(len(s.History[i]))
-		for _, t := range s.History[i] {
-			h.WriteInt(t.Epoch)
-			h.WriteInt(t.Counter)
-			h.WriteString(t.Value)
-		}
-	}
-	h.WriteInts(s.Commit)
-	h.WriteInts(s.LeaderID)
-	h.WriteInts(s.PendEpoch)
-	for i := range s.Synced {
-		h.Sep()
-		h.WriteInt(len(s.Synced[i]))
-		for _, b := range s.Synced[i] {
-			h.WriteBool(b)
-		}
-		h.WriteInts(s.Acked[i])
-	}
-	h.Sep()
-	for i := range s.Activated {
-		h.WriteBool(s.Activated[i])
-	}
-	h.WriteInts(s.Counter)
-	h.Sep()
-	for _, u := range s.Up {
-		h.WriteBool(u)
-	}
-	for i := 0; i < s.n; i++ {
-		for j := 0; j < s.n; j++ {
-			h.Sep()
-			h.WriteInt(len(s.Chan[i][j]))
-			for k := range s.Chan[i][j] {
-				s.Chan[i][j][k].hash(h)
-			}
-			h.WriteBool(s.Cut[i][j])
-			h.WriteBool(s.Part[i][j])
-		}
-	}
-	h.Sep()
-	h.WriteInt(len(s.Committed))
-	for _, t := range s.Committed {
-		h.WriteInt(t.Epoch)
-		h.WriteInt(t.Counter)
-		h.WriteString(t.Value)
-	}
-	s.Counters.Hash(h)
-	s.Viol.Hash(h)
-	return h.Sum()
+	var nodeBuf [orbitMaxNodes]uint64
+	var edgeBuf [orbitMaxNodes * orbitMaxNodes]uint64
+	node, edge := orbitBuffers(s.n, &nodeBuf, &edgeBuf)
+	g := s.orbitDigests(node, edge)
+	id := spec.PermTableFor(s.n).Identity
+	return s.orbitCombine(node, edge, g, id, id)
 }
 
 // lastZxid returns node i's last logged zxid.

@@ -7,6 +7,7 @@ import (
 	"github.com/sandtable-go/sandtable/internal/bugdb"
 	"github.com/sandtable-go/sandtable/internal/explorer"
 	"github.com/sandtable-go/sandtable/internal/spec"
+	"github.com/sandtable-go/sandtable/internal/spec/spectest"
 	"github.com/sandtable-go/sandtable/internal/specs/zabkeeper"
 )
 
@@ -136,6 +137,15 @@ func TestVoteOrderBugFoundByBFS(t *testing.T) {
 	if v.Invariant != "VoteTotalOrder" {
 		t.Fatalf("violated %s (%v), want VoteTotalOrder", v.Invariant, v.Err)
 	}
+}
+
+// TestOrbitFingerprintMatchesReference property-tests the spec.OrbitHasher
+// contract (incremental min-of-orbit == materialised reference min) through
+// the shared spectest harness, under the full fault budget so vote-carrying
+// messages, crashes, and partitions all appear in the walked states.
+func TestOrbitFingerprintMatchesReference(t *testing.T) {
+	m := zabkeeper.New(cfg(), spec.Budget{Name: "orbit", MaxTimeouts: 2, MaxRequests: 2, MaxCrashes: 1, MaxRestarts: 1, MaxPartitions: 1, MaxBuffer: 3}, bugdb.AllBugs("zabkeeper"))
+	spectest.AssertOrbitEquiv(t, m, 4, 120, 29)
 }
 
 func TestPermutedFingerprintMatchesReference(t *testing.T) {

@@ -2,9 +2,11 @@
 # Runs the perf-trajectory benchmarks — BenchmarkTable3Exploration (the
 # guard benchmark for explorer hot-path changes, e.g. observability
 # instrumentation), BenchmarkSpillExploration (in-RAM vs memory-budgeted
-# spill-path throughput), and BenchmarkConformance (the parallel replay
-# pool's workers sweep) — and writes BENCH_explorer.json with the raw
-# `go test -bench` lines plus parsed per-run numbers.
+# spill-path throughput), BenchmarkConformance (the parallel replay
+# pool's workers sweep), and BenchmarkCanonicalization (flat vs incremental
+# min-of-orbit fingerprinting per spec family) — and writes
+# BENCH_explorer.json with the raw `go test -bench` lines plus parsed
+# per-run numbers.
 #
 # Usage: scripts/bench.sh [count]   (default: 3 runs per benchmark)
 # The output path can be overridden with BENCH_OUT (used by `make benchdiff`
@@ -17,21 +19,25 @@ OUT="${BENCH_OUT:-BENCH_explorer.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTable3Exploration|BenchmarkSpillExploration|BenchmarkConformance' -benchmem -count "$COUNT" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkTable3Exploration|BenchmarkSpillExploration|BenchmarkConformance|BenchmarkCanonicalization' -benchmem -count "$COUNT" . | tee "$RAW"
 
 # Render the raw lines into a small JSON report. Exploration runs carry
-# states/s, conformance runs events/s; the field a run lacks stays null.
-# Values are taken only from well-formed `<number> <unit>` metric pairs, the
-# GOMAXPROCS suffix go test appends to benchmark names (`/wmax-8`) is
-# stripped so names compare across machines, and each run records the
-# gomaxprocs metric the harness reports — on a 1-CPU machine the wmax rows
-# legitimately say workers=1, and gomaxprocs is what proves that is the
-# machine, not a parse failure.
+# states/s and events/s (transition throughput), conformance runs events/s;
+# the field a run lacks stays null. Values are taken only from well-formed
+# `<number> <unit>` metric pairs, the GOMAXPROCS suffix go test appends to
+# benchmark names (`/wmax-8`) is stripped so names compare across machines,
+# and each run records two disambiguating fields: `label` (the last
+# sub-benchmark path segment — w1/w4/wmax, flat/orbit, inram/spill — which
+# keeps wmax rows distinguishable from w1 on a 1-CPU box where both
+# legitimately record workers=1) and the gomaxprocs metric the harness
+# reports, which proves that is the machine, not a parse failure.
 awk -v count="$COUNT" '
-BEGIN { print "{"; printf "  \"benchmarks\": [\"BenchmarkTable3Exploration\", \"BenchmarkSpillExploration\", \"BenchmarkConformance\"],\n  \"count\": %d,\n  \"runs\": [\n", count }
+BEGIN { print "{"; printf "  \"benchmarks\": [\"BenchmarkTable3Exploration\", \"BenchmarkSpillExploration\", \"BenchmarkConformance\", \"BenchmarkCanonicalization\"],\n  \"count\": %d,\n  \"runs\": [\n", count }
 /^Benchmark/ && NF >= 2 && $2 ~ /^[0-9]+$/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
+    label = name
+    sub(/^.*\//, "", label)
     ns = b = a = sps = eps = w = gmp = "null"
     for (i = 3; i <= NF; i++) {
         if ($(i - 1) !~ /^[0-9]+(\.[0-9]+)?$/) continue
@@ -44,7 +50,7 @@ BEGIN { print "{"; printf "  \"benchmarks\": [\"BenchmarkTable3Exploration\", \"
         else if ($i == "gomaxprocs") gmp = $(i - 1)
     }
     sep = (n++ ? ",\n" : "")
-    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"workers\": %s, \"gomaxprocs\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"events_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, w, gmp, ns, sps, eps, b, a
+    printf "%s    {\"name\": \"%s\", \"label\": \"%s\", \"iterations\": %s, \"workers\": %s, \"gomaxprocs\": %s, \"ns_per_op\": %s, \"states_per_sec\": %s, \"events_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, label, $2, w, gmp, ns, sps, eps, b, a
 }
 END { print "\n  ]\n}" }
 ' "$RAW" > "$OUT"

@@ -1,6 +1,7 @@
 // Command benchdiff compares two BENCH_explorer.json reports (see
 // scripts/bench.sh for the format) and prints per-benchmark deltas:
-// throughput (states/s or events/s), bytes/op, and allocs/op. `make
+// throughput (states/s or events/s; ns/op for micro-benchmarks that report
+// neither, where lower is better), bytes/op, and allocs/op. `make
 // benchdiff` uses it to compare a fresh benchmark run against the committed
 // baseline, so a hot-path change shows its effect without overwriting the
 // baseline file.
@@ -110,6 +111,12 @@ func load(path string) (map[string]avg, error) {
 		case r.EventsSec != nil:
 			a.throughput += *r.EventsSec
 			a.unit = "events/s"
+		case r.NsPerOp != nil:
+			// Micro-benchmarks (e.g. BenchmarkCanonicalization) report no
+			// throughput metric; compare latency instead. Lower is better,
+			// so a negative delta is an improvement here.
+			a.throughput += *r.NsPerOp
+			a.unit = "ns/op"
 		}
 		if r.BytesOp != nil {
 			a.bytes += *r.BytesOp
